@@ -1,0 +1,167 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark microbenchmarks of the library's hot paths.
+///
+/// Covers the allocator (A3), the machine model's per-access cost, the
+/// EOS paths (direct Fermi-Dirac vs table interpolation — the ~10^3 gap
+/// that makes the table the production path), the Riemann solvers, and
+/// mesh guard-cell filling.
+
+#include <benchmark/benchmark.h>
+
+#include "eos/eos_table.hpp"
+#include "eos/fermi_dirac.hpp"
+#include "eos/gamma_eos.hpp"
+#include "eos/helmholtz_eos.hpp"
+#include "hydro/riemann.hpp"
+#include "mem/arena.hpp"
+#include "mem/mapped_region.hpp"
+#include "mem/meminfo.hpp"
+#include "mesh/amr_mesh.hpp"
+#include "tlb/machine.hpp"
+
+namespace {
+
+using namespace fhp;
+
+void BM_ArenaAllocate(benchmark::State& state) {
+  mem::Arena arena(mem::HugePolicy::kNone, 16ull << 20);
+  benchmark::DoNotOptimize(arena.allocate(64, 64));  // pre-warm first chunk
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.allocate(256, 64));
+  }
+}
+BENCHMARK(BM_ArenaAllocate);
+
+void BM_MappedRegion(benchmark::State& state) {
+  const auto policy = static_cast<mem::HugePolicy>(state.range(0));
+  for (auto _ : state) {
+    mem::MapRequest req;
+    req.bytes = 8ull << 20;
+    req.policy = policy;
+    req.prefault = false;
+    mem::MappedRegion region(req);
+    benchmark::DoNotOptimize(region.data());
+  }
+}
+BENCHMARK(BM_MappedRegion)
+    ->Arg(static_cast<int>(mem::HugePolicy::kNone))
+    ->Arg(static_cast<int>(mem::HugePolicy::kThp))
+    ->Arg(static_cast<int>(mem::HugePolicy::kHugetlbfs));
+
+void BM_MeminfoParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::MeminfoSnapshot::capture());
+  }
+}
+BENCHMARK(BM_MeminfoParse);
+
+void BM_TlbTouch(benchmark::State& state) {
+  tlb::Machine machine;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    machine.touch(reinterpret_cast<void*>(addr), 8, false, tlb::kShift4K);
+    addr += 4096;  // miss-heavy stream
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbTouch);
+
+void BM_FermiDiracAll(benchmark::State& state) {
+  double eta = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eos::fd_all(eta, 0.02));
+    eta += 1e-9;
+  }
+}
+BENCHMARK(BM_FermiDiracAll);
+
+void BM_HelmholtzDirect(benchmark::State& state) {
+  const eos::HelmholtzEos direct;
+  eos::State s;
+  s.abar = 13.714;
+  s.zbar = 6.857;
+  s.rho = 2.0e9;
+  s.temp = 1.0e8;
+  for (auto _ : state) {
+    direct.eval_one(eos::Mode::kDensTemp, s);
+    benchmark::DoNotOptimize(s.pres);
+    s.temp += 1.0;  // defeat any memoization
+  }
+}
+BENCHMARK(BM_HelmholtzDirect);
+
+std::shared_ptr<const eos::HelmTable> micro_table() {
+  static auto table = std::make_shared<eos::HelmTable>(
+      eos::HelmTable::build_or_load(eos::HelmTableSpec{},
+                                    mem::HugePolicy::kNone,
+                                    "helm_table.bin"));
+  return table;
+}
+
+void BM_HelmTableInterpolate(benchmark::State& state) {
+  auto table = micro_table();
+  double rho = 2.0e9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->interpolate(rho, 1.0e8));
+    rho *= 1.0000001;
+  }
+}
+BENCHMARK(BM_HelmTableInterpolate);
+
+void BM_HelmTableEosDensEner(benchmark::State& state) {
+  const eos::HelmTableEos eos(micro_table());
+  eos::State s;
+  s.abar = 13.714;
+  s.zbar = 6.857;
+  s.rho = 2.0e9;
+  s.temp = 1.0e8;
+  eos.eval_one(eos::Mode::kDensTemp, s);
+  const double e0 = s.ener;
+  for (auto _ : state) {
+    s.ener = e0;
+    s.temp = 9.0e7;  // warm-ish start, forces a few Newton steps
+    eos.eval_one(eos::Mode::kDensEner, s);
+    benchmark::DoNotOptimize(s.temp);
+  }
+}
+BENCHMARK(BM_HelmTableEosDensEner);
+
+void BM_Hllc(benchmark::State& state) {
+  hydro::PrimState left{1.0, 0.75, 0.0, 0.0, 1.0, 1.4, 1.4};
+  hydro::PrimState right{0.125, 0.0, 0.0, 0.0, 0.1, 1.4, 1.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hydro::hllc(left, right));
+  }
+}
+BENCHMARK(BM_Hllc);
+
+void BM_ExactRiemann(benchmark::State& state) {
+  const hydro::ExactRiemann solver(1.4);
+  hydro::PrimState left{1.0, 0.0, 0.0, 0.0, 1.0, 1.4, 1.4};
+  hydro::PrimState right{0.125, 0.0, 0.0, 0.0, 0.1, 1.4, 1.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(left, right));
+  }
+}
+BENCHMARK(BM_ExactRiemann);
+
+void BM_GuardcellFill(benchmark::State& state) {
+  mesh::MeshConfig config;
+  config.ndim = 2;
+  config.nscalars = 2;
+  config.maxblocks = 128;
+  config.max_level = 3;
+  mesh::AmrMesh mesh(config, mem::HugePolicy::kNone);
+  for (int b : mesh.tree().leaves_morton()) mesh.refine_block(b);
+  for (auto _ : state) {
+    mesh.fill_guardcells();
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(mesh.tree().leaves_morton().size()));
+}
+BENCHMARK(BM_GuardcellFill);
+
+}  // namespace
+
+BENCHMARK_MAIN();

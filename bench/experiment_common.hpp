@@ -1,0 +1,120 @@
+/// \file experiment_common.hpp
+/// \brief Shared harness for the paper-reproduction benchmarks.
+///
+/// Each table/figure benchmark runs the same workload twice — without
+/// huge pages (policy none) and with them (policy hugetlbfs, which falls
+/// back to THP and then to base pages if the system provides no explicit
+/// pool) — and derives the paper's five PAPI measures per instrumented
+/// region plus the FLASH-timer analog. The harness also performs the
+/// paper's §III node preparation (sizing the hugetlb pool, hugeadm-style)
+/// and its verification step (watching /proc/meminfo and smaps).
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "mem/hugeadm.hpp"
+#include "mem/huge_policy.hpp"
+#include "mem/meminfo.hpp"
+#include "mem/page_size.hpp"
+#include "perf/events.hpp"
+#include "perf/region.hpp"
+#include "perf/soft_counters.hpp"
+#include "support/string_util.hpp"
+#include "support/table_writer.hpp"
+
+namespace fhp::bench {
+
+/// Everything a table row needs for one experiment arm.
+struct ArmResult {
+  perf::MeasureSet measures;   ///< the instrumented region's five measures
+  double flash_timer = 0;      ///< modeled total evolution time [s]
+  double wall_seconds = 0;     ///< host wall clock (reported, not compared)
+  std::string backing;         ///< what actually backed the big arrays
+  std::uint64_t resident_huge = 0;  ///< bytes verified on huge pages
+};
+
+/// The modeled A64FX clock used to derive "Time (s)" from cycles.
+inline constexpr double kClockHz = 1.8e9;
+
+/// Prepare the node like the paper's §III: try to reserve a 2 MiB-page
+/// pool big enough for \p bytes (plus slack). Returns true if a pool
+/// exists afterwards. Prints what happened — verification, not assumption,
+/// is the paper's methodological point.
+inline bool prepare_huge_pool(std::size_t bytes) {
+  const std::size_t pages = (bytes + mem::kPage2M - 1) / mem::kPage2M + 8;
+  const auto granted = mem::ensure_hugetlb_pool(mem::kPage2M, pages);
+  const auto snap = mem::MeminfoSnapshot::capture();
+  std::printf("# hugetlb pool: requested %zu x 2 MiB pages, %s; %s\n", pages,
+              granted ? (std::to_string(*granted) + " configured").c_str()
+                      : "pool not configurable (not privileged?)",
+              snap.summary().c_str());
+  return granted.has_value() && *granted > 0;
+}
+
+/// Reset process-wide counters between arms.
+inline void reset_counters() {
+  perf::SoftCounters::instance().reset();
+  perf::RegionRegistry::instance().reset();
+}
+
+/// Compute the arm's measures for \p region_name after a run.
+inline void finish_arm(ArmResult& arm, const std::string& region_name) {
+  const perf::RegionStats stats =
+      perf::RegionRegistry::instance().get(region_name);
+  arm.measures = perf::derive_measures(stats.totals, kClockHz);
+  const perf::CounterSet totals = perf::SoftCounters::instance().snapshot();
+  arm.flash_timer =
+      static_cast<double>(totals[perf::Event::kCycles]) / kClockHz;
+}
+
+/// Print the table in the paper's layout, with the published values as a
+/// side-by-side reference, plus the ratio column of Figure 1.
+inline void print_paper_table(const std::string& title,
+                              const ArmResult& without, const ArmResult& with,
+                              const double paper_without[6],
+                              const double paper_with[6]) {
+  TableWriter t(title);
+  t.set_header({"Measure", "Without HPs", "With HPs", "Ratio",
+                "Paper w/o", "Paper w/"});
+  auto row = [&](const char* name, double a, double b, double pa, double pb) {
+    t.add_row({name, format_measure(a), format_measure(b),
+               b != 0 && a != 0 ? format_ratio(b / a) : "-",
+               format_measure(pa), format_measure(pb)});
+  };
+  row("Hardware (cycles)", without.measures.hardware_cycles,
+      with.measures.hardware_cycles, paper_without[0], paper_with[0]);
+  row("Time (s)", without.measures.time_seconds, with.measures.time_seconds,
+      paper_without[1], paper_with[1]);
+  row("SVE Instructions/cycle", without.measures.vector_per_cycle,
+      with.measures.vector_per_cycle, paper_without[2], paper_with[2]);
+  row("Memory (Gbytes/s)", without.measures.memory_gbytes_per_s,
+      with.measures.memory_gbytes_per_s, paper_without[3], paper_with[3]);
+  row("DTLB misses (1/s)", without.measures.dtlb_misses_per_s,
+      with.measures.dtlb_misses_per_s, paper_without[4], paper_with[4]);
+  row("FLASH Timer (s)", without.flash_timer, with.flash_timer,
+      paper_without[5], paper_with[5]);
+  t.render(std::cout);
+  std::printf("# backing: without = %s; with = %s (huge-resident %s)\n",
+              without.backing.c_str(), with.backing.c_str(),
+              format_bytes(with.resident_huge).c_str());
+  std::printf("# host wall clock: without %.1f s, with %.1f s\n",
+              without.wall_seconds, with.wall_seconds);
+}
+
+/// The published Tables I and II, for side-by-side printing and for the
+/// reproduction-band checks in EXPERIMENTS.md.
+/// Order: cycles, time, SVE/cycle, GB/s, DTLB/s, FLASH timer.
+inline constexpr double kPaperEosWithout[6] = {1.25e11, 6.97e1, 0.47,
+                                               4.19,    2.34e7, 339.032};
+inline constexpr double kPaperEosWith[6] = {1.17e11, 6.52e1, 0.51,
+                                            4.45,    1.10e6, 333.150};
+inline constexpr double kPaperHydroWithout[6] = {1.21e12, 6.70e2, 0.11,
+                                                 10.10,   2.42e6, 1203.616};
+inline constexpr double kPaperHydroWith[6] = {1.20e12, 6.69e2, 0.11,
+                                              10.09,   7.83e5, 1176.312};
+
+}  // namespace fhp::bench

@@ -1,0 +1,111 @@
+/// \file experiment_runners.hpp
+/// \brief The two experiment arms (EOS / 3-d Hydro) as reusable functions.
+///
+/// bench_table1_eos, bench_table2_hydro and bench_fig1_ratios all run the
+/// same two workloads; this header holds the single implementation.
+
+#pragma once
+
+#include <chrono>
+
+#include "experiment_common.hpp"
+#include "hydro/hydro.hpp"
+#include "perf/timers.hpp"
+#include "sim/driver.hpp"
+#include "sim/sedov.hpp"
+#include "sim/supernova.hpp"
+#include "tlb/machine.hpp"
+
+namespace fhp::bench {
+
+/// One arm of the EOS experiment (2-d supernova, EOS instrumented).
+inline ArmResult run_eos_arm(mem::HugePolicy policy, int nsteps,
+                             int max_level, int sample) {
+  reset_counters();
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  sim::SupernovaParams params;
+  params.max_level = max_level;
+  params.maxblocks = 1500;
+  params.table_cache = "helm_table.bin";
+  sim::SupernovaSetup setup(params, policy);
+
+  mesh::AmrMesh& mesh = setup.mesh();
+  hydro::HydroOptions hopt;
+  hopt.cfl = 0.6;
+  hydro::HydroSolver hydro(mesh, setup.eos(), hopt);
+  hydro.set_composition_fn(setup.composition_fn());
+
+  perf::Timers timers;
+  tlb::Machine machine;
+  sim::DriverOptions dopt;
+  dopt.nsteps = nsteps;
+  dopt.trace_sample = sample;
+  dopt.verbose = false;
+  dopt.refine_vars = {mesh::var::kDens,
+                      mesh::var::kFirstScalar + sim::snvar::kPhi};
+  sim::Driver driver(mesh, hydro, timers, dopt);
+  driver.set_flame(&setup.flame());
+  driver.set_gravity(&setup.gravity());
+  driver.set_machine(&machine);
+  driver.set_eos_trace(
+      [&setup](tlb::Tracer& t, int b) { setup.trace_eos_block(t, b); });
+
+  driver.evolve();
+
+  ArmResult arm;
+  finish_arm(arm, "eos");
+  arm.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall0)
+                         .count();
+  arm.backing = mesh.unk().region().describe() + " + table " +
+                setup.table().region().describe();
+  arm.resident_huge = mesh.unk().region().resident_huge_bytes() +
+                      setup.table().region().resident_huge_bytes();
+  return arm;
+}
+
+/// One arm of the 3-d Hydro experiment (Sedov, hydro instrumented).
+inline ArmResult run_hydro_arm(mem::HugePolicy policy, int nsteps,
+                               int max_level, int sample) {
+  reset_counters();
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  sim::SedovParams params;
+  params.max_level = max_level;
+  params.maxblocks = 700;
+  sim::SedovSetup setup(params, policy);
+
+  mesh::AmrMesh& mesh = setup.mesh();
+  hydro::HydroOptions hopt;
+  hopt.cfl = 0.6;
+  hydro::HydroSolver hydro(mesh, setup.eos(), hopt);
+
+  perf::Timers timers;
+  tlb::Machine machine;
+  sim::DriverOptions dopt;
+  dopt.nsteps = nsteps;
+  dopt.trace_sample = sample;
+  dopt.verbose = false;
+  sim::Driver driver(mesh, hydro, timers, dopt);
+  driver.set_machine(&machine);
+  driver.set_eos_trace([&mesh](tlb::Tracer& t, int b) {
+    const mesh::MeshConfig& c = mesh.config();
+    mesh.unk().trace_sweep(t, b, c.ilo(), c.ihi(), c.jlo(), c.jhi(), c.klo(),
+                           c.khi(), 8, 6);
+    t.compute(static_cast<std::uint64_t>(c.nxb) * c.nyb * c.nzb * 40, 0);
+  });
+
+  driver.evolve();
+
+  ArmResult arm;
+  finish_arm(arm, "hydro");
+  arm.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall0)
+                         .count();
+  arm.backing = mesh.unk().region().describe();
+  arm.resident_huge = mesh.unk().region().resident_huge_bytes();
+  return arm;
+}
+
+}  // namespace fhp::bench

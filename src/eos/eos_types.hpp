@@ -1,0 +1,66 @@
+/// \file eos_types.hpp
+/// \brief Common types for the equation-of-state interfaces.
+///
+/// Mirrors FLASH's Eos unit: an EOS is evaluated in one of three input
+/// modes (MODE_DENS_TEMP, MODE_DENS_EI, MODE_DENS_PRES) over rows of
+/// zones; every call fills the full thermodynamic state.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fhp::eos {
+
+/// Which pair of inputs defines the state (FLASH's eos "modes").
+enum class Mode : std::uint8_t {
+  kDensTemp,  ///< (rho, T) given — direct evaluation
+  kDensEner,  ///< (rho, e) given — Newton-invert for T
+  kDensPres,  ///< (rho, P) given — Newton-invert for T
+};
+
+[[nodiscard]] std::string_view to_string(Mode mode) noexcept;
+
+/// One zone's thermodynamic state. Inputs and outputs share the struct,
+/// FLASH-style: on input, rho + (temp|ener|pres per Mode) + abar/zbar are
+/// set; on return everything is consistent.
+struct State {
+  // Composition (mean atomic weight and charge of the mixture).
+  double abar = 12.0;  ///< mean nucleon number  (12C default)
+  double zbar = 6.0;   ///< mean charge
+
+  // Primary variables.
+  double rho = 0.0;   ///< density [g/cm^3]
+  double temp = 0.0;  ///< temperature [K]
+  double ener = 0.0;  ///< specific internal energy [erg/g]
+  double pres = 0.0;  ///< pressure [erg/cm^3]
+
+  // Secondary outputs.
+  double entr = 0.0;     ///< specific entropy [erg/(g K)]
+  double cv = 0.0;       ///< specific heat at constant volume [erg/(g K)]
+  double cp = 0.0;       ///< specific heat at constant pressure [erg/(g K)]
+  double gamma1 = 0.0;   ///< first adiabatic index (d lnP / d lnRho)_s
+  double cs = 0.0;       ///< adiabatic sound speed [cm/s]
+  double dpdr = 0.0;     ///< (dP/dRho)_T
+  double dpdt = 0.0;     ///< (dP/dT)_Rho
+  double dedt = 0.0;     ///< (dE/dT)_Rho == cv
+  double eta = 0.0;      ///< electron degeneracy parameter mu/kT
+};
+
+/// Abstract EOS: evaluate a row of states in the given mode.
+class Eos {
+ public:
+  virtual ~Eos() = default;
+
+  /// Fill every state in \p row consistently with \p mode's inputs.
+  /// Throws fhp::NumericsError on unphysical inputs or non-convergence.
+  virtual void eval(Mode mode, std::span<State> row) const = 0;
+
+  /// Convenience scalar form.
+  void eval_one(Mode mode, State& state) const {
+    eval(mode, std::span<State>(&state, 1));
+  }
+};
+
+}  // namespace fhp::eos

@@ -1,0 +1,198 @@
+#include "eos/fermi_dirac.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fhp::eos {
+
+namespace {
+
+/// 32-point Gauss–Legendre nodes/weights on [-1, 1], computed once by
+/// Newton iteration on P_32 (machine precision; avoids transcribed tables).
+struct GaussLegendre32 {
+  std::array<double, 32> x{};
+  std::array<double, 32> w{};
+
+  GaussLegendre32() {
+    constexpr int n = 32;
+    for (int i = 0; i < (n + 1) / 2; ++i) {
+      // Initial guess (Chebyshev-like).
+      double z = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+      double pp = 0.0;
+      for (int iter = 0; iter < 100; ++iter) {
+        // Evaluate P_n(z) by recurrence.
+        double p0 = 1.0, p1 = 0.0;
+        for (int j = 0; j < n; ++j) {
+          const double p2 = p1;
+          p1 = p0;
+          p0 = ((2.0 * j + 1.0) * z * p1 - j * p2) / (j + 1.0);
+        }
+        pp = n * (z * p0 - p1) / (z * z - 1.0);
+        const double dz = p0 / pp;
+        z -= dz;
+        if (std::fabs(dz) < 1e-15) break;
+      }
+      x[static_cast<std::size_t>(i)] = -z;
+      x[static_cast<std::size_t>(n - 1 - i)] = z;
+      const double wi = 2.0 / ((1.0 - z * z) * pp * pp);
+      w[static_cast<std::size_t>(i)] = wi;
+      w[static_cast<std::size_t>(n - 1 - i)] = wi;
+    }
+  }
+};
+
+const GaussLegendre32& gl32() {
+  static const GaussLegendre32 rule;
+  return rule;
+}
+
+/// Fermi factor 1/(exp(u)+1), overflow-safe.
+inline double fermi(double u) noexcept {
+  if (u > 0.0) {
+    const double t = std::exp(-u);
+    return t / (1.0 + t);
+  }
+  return 1.0 / (std::exp(u) + 1.0);
+}
+
+/// d/deta of the Fermi factor with u = x - eta:
+/// exp(u)/(exp(u)+1)^2 = t/(1+t)^2 with t = exp(-|u|).
+inline double fermi_deta(double u) noexcept {
+  const double t = std::exp(-std::fabs(u));
+  const double denom = 1.0 + t;
+  return t / (denom * denom);
+}
+
+enum class Deriv { kNone, kEta, kBeta };
+
+/// Integrate x^k sqrt(1 + beta x / 2) * (fermi | dfermi/deta | dsqrt/dbeta
+/// * fermi) over [lo, hi] with one 32-point panel.
+double panel(double k, double eta, double beta, double lo, double hi,
+             Deriv deriv) {
+  const auto& rule = gl32();
+  const double mid = 0.5 * (lo + hi);
+  const double half = 0.5 * (hi - lo);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double xx = mid + half * rule.x[i];
+    if (xx <= 0.0) continue;
+    const double root = std::sqrt(1.0 + 0.5 * beta * xx);
+    const double u = xx - eta;
+    double f;
+    switch (deriv) {
+      case Deriv::kNone: f = std::pow(xx, k) * root * fermi(u); break;
+      case Deriv::kEta: f = std::pow(xx, k) * root * fermi_deta(u); break;
+      case Deriv::kBeta:
+        f = std::pow(xx, k) * (0.25 * xx / root) * fermi(u);
+        break;
+    }
+    sum += rule.w[i] * f;
+  }
+  return sum * half;
+}
+
+/// Breakpoints clustered on the Fermi surface plus a decaying tail.
+std::vector<double> breakpoints(double eta) {
+  std::vector<double> pts{0.0, 0.5, 2.0};
+  if (eta > 0.0) {
+    for (double d : {-30.0, -5.0, 5.0, 30.0}) {
+      const double p = eta + d;
+      if (p > 0.0) pts.push_back(p);
+    }
+    pts.push_back(eta + 200.0);
+  } else {
+    pts.push_back(8.0);
+    pts.push_back(30.0);
+    pts.push_back(200.0);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end(),
+                        [](double a, double b) { return b - a < 1e-12; }),
+            pts.end());
+  return pts;
+}
+
+double integrate(double k, double eta, double beta, Deriv deriv) {
+  FHP_REQUIRE(k > -1.0, "Fermi-Dirac integral requires k > -1");
+  FHP_REQUIRE(beta >= 0.0, "relativity parameter beta must be >= 0");
+  const auto pts = breakpoints(eta);
+  double total = 0.0;
+  for (std::size_t s = 0; s + 1 < pts.size(); ++s) {
+    const double lo = pts[s];
+    const double hi = pts[s + 1];
+    // Subdivide long spans so each 32-point panel sees a smooth stretch.
+    const double span = hi - lo;
+    const double quantum = std::max(10.0, (eta > 40.0 ? eta / 8.0 : 10.0));
+    const int pieces = std::max(1, static_cast<int>(std::ceil(span / quantum)));
+    for (int p = 0; p < pieces; ++p) {
+      const double a = lo + span * p / pieces;
+      const double b = lo + span * (p + 1) / pieces;
+      total += panel(k, eta, beta, a, b, deriv);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double fd_integral(double k, double eta, double beta) {
+  return integrate(k, eta, beta, Deriv::kNone);
+}
+
+double fd_integral_deta(double k, double eta, double beta) {
+  return integrate(k, eta, beta, Deriv::kEta);
+}
+
+double fd_integral_dbeta(double k, double eta, double beta) {
+  return integrate(k, eta, beta, Deriv::kBeta);
+}
+
+FdSet fd_all(double eta, double beta) {
+  FHP_REQUIRE(beta >= 0.0, "relativity parameter beta must be >= 0");
+  const auto& rule = gl32();
+  const auto pts = breakpoints(eta);
+  FdSet out;
+  for (std::size_t s = 0; s + 1 < pts.size(); ++s) {
+    const double lo = pts[s];
+    const double hi = pts[s + 1];
+    const double span = hi - lo;
+    const double quantum = std::max(10.0, (eta > 40.0 ? eta / 8.0 : 10.0));
+    const int pieces = std::max(1, static_cast<int>(std::ceil(span / quantum)));
+    for (int p = 0; p < pieces; ++p) {
+      const double a = lo + span * p / pieces;
+      const double b = lo + span * (p + 1) / pieces;
+      const double mid = 0.5 * (a + b);
+      const double half = 0.5 * (b - a);
+      for (std::size_t i = 0; i < 32; ++i) {
+        const double xx = mid + half * rule.x[i];
+        if (xx <= 0.0) continue;
+        const double w = rule.w[i] * half;
+        const double root = std::sqrt(1.0 + 0.5 * beta * xx);
+        const double u = xx - eta;
+        const double f = fermi(u);
+        const double fe = fermi_deta(u);
+        const double x12 = std::sqrt(xx);
+        const double x32 = x12 * xx;
+        const double x52 = x32 * xx;
+        const double dbeta_factor = 0.25 * xx / root;
+
+        out.f12 += w * x12 * root * f;
+        out.f32 += w * x32 * root * f;
+        out.f52 += w * x52 * root * f;
+        out.f12e += w * x12 * root * fe;
+        out.f32e += w * x32 * root * fe;
+        out.f52e += w * x52 * root * fe;
+        out.f12b += w * x12 * dbeta_factor * f;
+        out.f32b += w * x32 * dbeta_factor * f;
+        out.f52b += w * x52 * dbeta_factor * f;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fhp::eos

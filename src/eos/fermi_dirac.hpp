@@ -1,0 +1,41 @@
+/// \file fermi_dirac.hpp
+/// \brief Generalized Fermi–Dirac integrals.
+///
+/// The degenerate-electron EOS needs the generalized Fermi–Dirac integral
+///
+///   F_k(eta, beta) = \int_0^inf x^k sqrt(1 + beta x / 2) / (exp(x-eta)+1) dx
+///
+/// and its partial derivatives with respect to eta and beta, for
+/// k = 1/2, 3/2, 5/2. beta = kT / (m_e c^2) is the relativity parameter,
+/// eta = mu / kT the degeneracy parameter (chemical potential without rest
+/// mass). Evaluation uses composite Gauss–Legendre quadrature with
+/// breakpoints that track the Fermi surface at x ~ eta, accurate to
+/// ~1e-12 relative over the stellar regime (-50 < eta < 5e4, beta < 1e3).
+
+#pragma once
+
+namespace fhp::eos {
+
+/// F_k(eta, beta). k is the exponent (0.5, 1.5, or 2.5 in practice; any
+/// k > -1 works).
+[[nodiscard]] double fd_integral(double k, double eta, double beta);
+
+/// dF_k/deta.
+[[nodiscard]] double fd_integral_deta(double k, double eta, double beta);
+
+/// dF_k/dbeta.
+[[nodiscard]] double fd_integral_dbeta(double k, double eta, double beta);
+
+/// All nine integrals the EOS needs — F_k, dF_k/deta, dF_k/dbeta for
+/// k = 1/2, 3/2, 5/2 — fused into a single quadrature pass (one exp()
+/// per node instead of nine). This is the production path; the scalar
+/// fd_integral* functions are the reference the fused version is tested
+/// against.
+struct FdSet {
+  double f12 = 0, f32 = 0, f52 = 0;
+  double f12e = 0, f32e = 0, f52e = 0;
+  double f12b = 0, f32b = 0, f52b = 0;
+};
+[[nodiscard]] FdSet fd_all(double eta, double beta);
+
+}  // namespace fhp::eos

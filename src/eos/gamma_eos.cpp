@@ -1,0 +1,68 @@
+#include "eos/gamma_eos.hpp"
+
+#include <cmath>
+
+#include "support/constants.hpp"
+#include "support/error.hpp"
+
+namespace fhp::eos {
+
+std::string_view to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kDensTemp: return "dens_temp";
+    case Mode::kDensEner: return "dens_ener";
+    case Mode::kDensPres: return "dens_pres";
+  }
+  return "?";
+}
+
+GammaEos::GammaEos(double gamma) : gamma_(gamma) {
+  FHP_REQUIRE(gamma > 1.0, "gamma-law EOS requires gamma > 1");
+}
+
+void GammaEos::eval(Mode mode, std::span<State> row) const {
+  using constants::kAvogadro;
+  using constants::kBoltzmann;
+  const double gm1 = gamma_ - 1.0;
+
+  for (State& s : row) {
+    if (!(s.rho > 0.0)) {
+      throw NumericsError("gamma EOS: non-positive density");
+    }
+    const double r_spec = kAvogadro * kBoltzmann / s.abar;  // erg/(g K)
+    switch (mode) {
+      case Mode::kDensTemp:
+        if (!(s.temp > 0.0)) {
+          throw NumericsError("gamma EOS: non-positive temperature");
+        }
+        s.pres = s.rho * r_spec * s.temp;
+        s.ener = s.pres / (gm1 * s.rho);
+        break;
+      case Mode::kDensEner:
+        if (!(s.ener > 0.0)) {
+          throw NumericsError("gamma EOS: non-positive internal energy");
+        }
+        s.pres = gm1 * s.rho * s.ener;
+        s.temp = s.pres / (s.rho * r_spec);
+        break;
+      case Mode::kDensPres:
+        if (!(s.pres > 0.0)) {
+          throw NumericsError("gamma EOS: non-positive pressure");
+        }
+        s.temp = s.pres / (s.rho * r_spec);
+        s.ener = s.pres / (gm1 * s.rho);
+        break;
+    }
+    s.cv = r_spec / gm1;
+    s.cp = s.cv * gamma_;
+    s.gamma1 = gamma_;
+    s.cs = std::sqrt(gamma_ * s.pres / s.rho);
+    s.dpdr = s.pres / s.rho;
+    s.dpdt = s.rho * r_spec;
+    s.dedt = s.cv;
+    s.entr = s.cv * std::log(s.pres / std::pow(s.rho, gamma_)) ;
+    s.eta = 0.0;
+  }
+}
+
+}  // namespace fhp::eos

@@ -1,0 +1,29 @@
+/// \file gamma_eos.hpp
+/// \brief Ideal gamma-law gas — FLASH's `Gamma` EOS implementation.
+///
+/// P = rho * N_A * k_B * T / abar,  e = P / ((gamma-1) rho).
+/// Used by the Sedov setup (the paper's "3-d Hydro" test) and as the fast
+/// reference implementation in tests. All three input modes invert
+/// analytically.
+
+#pragma once
+
+#include "eos/eos_types.hpp"
+
+namespace fhp::eos {
+
+/// Ideal gas with constant adiabatic index.
+class GammaEos final : public Eos {
+ public:
+  /// \param gamma adiabatic index (FLASH default 1.6667 for Sedov: 1.4).
+  explicit GammaEos(double gamma = 1.4);
+
+  void eval(Mode mode, std::span<State> row) const override;
+
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace fhp::eos

@@ -1,0 +1,220 @@
+#include "eos/helmholtz_eos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eos/fermi_dirac.hpp"
+#include "eos/stellar_terms.hpp"
+#include "support/constants.hpp"
+#include "support/error.hpp"
+
+namespace fhp::eos {
+
+namespace {
+
+namespace c = fhp::constants;
+
+/// C = 8 pi sqrt(2) (m_e c / h)^3  [cm^-3].
+const double kCn = 8.0 * M_PI * std::sqrt(2.0) *
+                   std::pow(c::kElectronMass * c::kSpeedOfLight / c::kPlanck, 3);
+
+/// One species of Fermi gas (electrons, or positrons via eta_+).
+struct FermiGas {
+  double n = 0;      ///< number density [1/cm^3]
+  double n_eta = 0;  ///< dn/deta at fixed beta
+  double n_beta = 0; ///< dn/dbeta at fixed eta
+  double p = 0;      ///< pressure [erg/cm^3]
+  double p_eta = 0;
+  double p_beta = 0;
+  double e = 0;      ///< energy density [erg/cm^3] (no rest mass)
+  double e_eta = 0;
+  double e_beta = 0;
+};
+
+/// Evaluate the gas at (eta, beta). Underflow guard: for eta < -600 the
+/// occupancy is < 1e-260 — return zeros.
+FermiGas eval_gas(double eta, double beta) {
+  FermiGas g;
+  if (eta < -600.0) return g;
+  const FdSet fd = fd_all(eta, beta);
+  const double f12 = fd.f12, f32 = fd.f32, f52 = fd.f52;
+  const double f12e = fd.f12e, f32e = fd.f32e, f52e = fd.f52e;
+  const double f12b = fd.f12b, f32b = fd.f32b, f52b = fd.f52b;
+
+  const double b32 = std::pow(beta, 1.5);
+  const double b52 = b32 * beta;
+  const double mc2 = c::kElectronRestEnergy;
+
+  g.n = kCn * b32 * (f12 + beta * f32);
+  g.n_eta = kCn * b32 * (f12e + beta * f32e);
+  g.n_beta = kCn * (1.5 * std::sqrt(beta) * (f12 + beta * f32) +
+                    b32 * (f12b + f32 + beta * f32b));
+
+  g.p = (2.0 / 3.0) * kCn * mc2 * b52 * (f32 + 0.5 * beta * f52);
+  g.p_eta = (2.0 / 3.0) * kCn * mc2 * b52 * (f32e + 0.5 * beta * f52e);
+  g.p_beta = (2.0 / 3.0) * kCn * mc2 *
+             (2.5 * b32 * (f32 + 0.5 * beta * f52) +
+              b52 * (f32b + 0.5 * f52 + 0.5 * beta * f52b));
+
+  g.e = kCn * mc2 * b52 * (f32 + beta * f52);
+  g.e_eta = kCn * mc2 * b52 * (f32e + beta * f52e);
+  g.e_beta = kCn * mc2 * (2.5 * b32 * (f32 + beta * f52) +
+                          b52 * (f32b + f52 + beta * f52b));
+  return g;
+}
+
+/// Electron+positron totals with derivatives w.r.t. (eta, beta).
+struct PairGas {
+  double n_net = 0;     ///< n_- - n_+  (charge density / e)
+  double n_net_eta = 0;
+  double n_net_beta = 0;
+  double p = 0, p_eta = 0, p_beta = 0;
+  double e = 0, e_eta = 0, e_beta = 0;   ///< includes pair rest mass
+  double s_vol = 0;                      ///< entropy per volume [erg/cm^3/K]
+};
+
+PairGas eval_pairs(double eta, double beta, double temp) {
+  const FermiGas ele = eval_gas(eta, beta);
+  const double eta_pos = -eta - 2.0 / beta;
+  const FermiGas pos = eval_gas(eta_pos, beta);
+  const double mc2 = c::kElectronRestEnergy;
+
+  PairGas t;
+  // d(eta_pos)/d(eta) = -1; d(eta_pos)/d(beta) = 2 / beta^2.
+  const double de_db = 2.0 / (beta * beta);
+
+  t.n_net = ele.n - pos.n;
+  t.n_net_eta = ele.n_eta + pos.n_eta;  // -(dpos/deta_pos)(-1) = +pos.n_eta
+  t.n_net_beta = ele.n_beta - (pos.n_beta + pos.n_eta * de_db);
+
+  t.p = ele.p + pos.p;
+  t.p_eta = ele.p_eta - pos.p_eta;
+  t.p_beta = ele.p_beta + pos.p_beta + pos.p_eta * de_db;
+
+  // Positron energy adds the rest mass of the created pair (2 m c^2 per
+  // positron): E_+ = e_pos + 2 m c^2 n_pos.
+  t.e = ele.e + pos.e + 2.0 * mc2 * pos.n;
+  t.e_eta = ele.e_eta - pos.e_eta - 2.0 * mc2 * pos.n_eta;
+  t.e_beta = ele.e_beta + pos.e_beta + pos.e_eta * de_db +
+             2.0 * mc2 * (pos.n_beta + pos.n_eta * de_db);
+
+  // T S = E + P - mu_- n_- - mu_+ n_+ with mu_- = eta kT (no rest mass)
+  // and mu_+ = eta_pos kT. Rest-mass bookkeeping matches t.e above.
+  const double kT = c::kBoltzmann * temp;
+  t.s_vol = (t.e + t.p - kT * (eta * ele.n + eta_pos * pos.n) -
+             2.0 * mc2 * pos.n) /
+            temp;
+  return t;
+}
+
+}  // namespace
+
+double HelmholtzEos::solve_eta(double rho, double temp, double ye) const {
+  const double beta = c::kBoltzmann * temp / c::kElectronRestEnergy;
+  const double n_target = rho * c::kAvogadro * ye;
+
+  // Bracket: n_net(eta) is strictly increasing in eta.
+  double lo = -50.0, hi = 50.0;
+  auto net = [&](double eta) { return eval_pairs(eta, beta, temp).n_net; };
+  // Expand the bracket geometrically until it straddles the target.
+  for (int i = 0; i < 200 && net(hi) < n_target; ++i) hi *= 2.0;
+  for (int i = 0; i < 200 && net(lo) > n_target; ++i) lo *= 2.0;
+  FHP_CHECK(net(lo) <= n_target && net(hi) >= n_target,
+            "eta bracket expansion failed");
+
+  // Safeguarded Newton.
+  double eta = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 100; ++iter) {
+    const PairGas g = eval_pairs(eta, beta, temp);
+    const double f = g.n_net - n_target;
+    if (f > 0) {
+      hi = eta;
+    } else {
+      lo = eta;
+    }
+    const double step = g.n_net_eta > 0 ? f / g.n_net_eta : 0.0;
+    double next = eta - step;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    const double scale = std::max({std::fabs(eta), std::fabs(next), 1.0});
+    if (std::fabs(next - eta) <= 1e-13 * scale) return next;
+    eta = next;
+  }
+  throw NumericsError("HelmholtzEos: eta iteration did not converge");
+}
+
+HelmholtzEos::EpState HelmholtzEos::eval_ep(double rho_ye, double temp) const {
+  const double beta = c::kBoltzmann * temp / c::kElectronRestEnergy;
+  const double eta = solve_eta(rho_ye, temp, 1.0);
+  const PairGas ep = eval_pairs(eta, beta, temp);
+
+  const double n_target = rho_ye * c::kAvogadro;
+  const double deta_drho = (n_target / rho_ye) / ep.n_net_eta;
+  const double dbeta_dT = beta / temp;
+  const double deta_dT = -(ep.n_net_beta / ep.n_net_eta) * dbeta_dT;
+
+  EpState out;
+  out.p = ep.p;
+  out.p_d = ep.p_eta * deta_drho;
+  out.p_t = ep.p_beta * dbeta_dT + ep.p_eta * deta_dT;
+  out.e = ep.e;
+  out.e_d = ep.e_eta * deta_drho;
+  out.e_t = ep.e_beta * dbeta_dT + ep.e_eta * deta_dT;
+  out.s = ep.s_vol;
+  // At constant volume: T dS_vol = dE_vol.
+  out.s_t = out.e_t / temp;
+  out.eta = eta;
+  out.eta_d = deta_drho;
+  out.eta_t = deta_dT;
+  return out;
+}
+
+void HelmholtzEos::eval_dens_temp(State& s) const {
+  if (!(s.rho >= kMinRho && s.rho <= kMaxRho)) {
+    throw NumericsError("HelmholtzEos: density " + std::to_string(s.rho) +
+                        " outside [1e-8, 1e12] g/cc");
+  }
+  if (!(s.temp >= kMinTemp && s.temp <= kMaxTemp)) {
+    throw NumericsError("HelmholtzEos: temperature " + std::to_string(s.temp) +
+                        " outside [1e3, 1e12] K");
+  }
+  FHP_REQUIRE(s.abar > 0 && s.zbar > 0, "bad composition");
+
+  const double ye = s.zbar / s.abar;
+  const double beta = c::kBoltzmann * s.temp / c::kElectronRestEnergy;
+  const double eta = solve_eta(s.rho, s.temp, ye);
+  const PairGas ep = eval_pairs(eta, beta, s.temp);
+
+  // Implicit-function derivatives of eta(rho, T) from charge neutrality
+  // n_net(eta, beta) = rho N_A Ye:
+  const double n_target = s.rho * c::kAvogadro * ye;
+  const double deta_drho = (n_target / s.rho) / ep.n_net_eta;
+  const double dbeta_dT = beta / s.temp;
+  const double deta_dT = -(ep.n_net_beta / ep.n_net_eta) * dbeta_dT;
+
+  detail::EpPart part;
+  part.p = ep.p;
+  part.dpdr = ep.p_eta * deta_drho;
+  part.dpdt = ep.p_beta * dbeta_dT + ep.p_eta * deta_dT;
+  part.e_vol = ep.e;
+  part.de_vol_dt = ep.e_beta * dbeta_dT + ep.e_eta * deta_dT;
+  part.s_vol = ep.s_vol;
+  part.eta = eta;
+  detail::assemble_state(s, part);
+}
+
+void HelmholtzEos::invert(Mode mode, State& s) const {
+  detail::invert_temperature([this](State& st) { eval_dens_temp(st); }, mode,
+                             s, kMinTemp, kMaxTemp);
+}
+
+void HelmholtzEos::eval(Mode mode, std::span<State> row) const {
+  for (State& s : row) {
+    switch (mode) {
+      case Mode::kDensTemp: eval_dens_temp(s); break;
+      case Mode::kDensEner:
+      case Mode::kDensPres: invert(mode, s); break;
+    }
+  }
+}
+
+}  // namespace fhp::eos

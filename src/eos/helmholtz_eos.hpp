@@ -1,0 +1,71 @@
+/// \file helmholtz_eos.hpp
+/// \brief Stellar EOS: degenerate e-/e+ gas + ideal ions + radiation.
+///
+/// This is flashhp's equivalent of FLASH's `Helmholtz` EOS — the module
+/// the paper's "EOS" experiment instruments. The electron/positron part
+/// is the relativistic, arbitrarily degenerate Fermi gas evaluated from
+/// generalized Fermi–Dirac integrals (Timmes & Arnett 1999 formulation):
+///
+///   n_e    = C beta^{3/2} [F_{1/2} + beta F_{3/2}]
+///   P_e    = (2/3) C m_e c^2 beta^{5/2} [F_{3/2} + (beta/2) F_{5/2}]
+///   E_e    = C m_e c^2 beta^{5/2} [F_{3/2} + beta F_{5/2}]
+///
+/// with C = 8 pi sqrt(2) (m_e c / h)^3 and beta = kT / m_e c^2. Positrons
+/// use eta_+ = -eta - 2/beta and add their rest-mass energy. Charge
+/// neutrality n_- - n_+ = rho N_A zbar / abar fixes eta by safeguarded
+/// Newton iteration. Ions are an ideal Maxwell–Boltzmann gas; radiation
+/// is a black body. (Coulomb corrections, which FLASH offers as an
+/// option, are omitted — negligible for the flame regime and documented
+/// in DESIGN.md.)
+///
+/// Direct evaluation costs ~10^3 integrand evaluations per zone; the
+/// production path is the tabulated HelmTable (eos_table.hpp), exactly as
+/// FLASH ships a tabulated Helmholtz free energy. This class is the
+/// ground truth the table is built from and tested against.
+
+#pragma once
+
+#include "eos/eos_types.hpp"
+
+namespace fhp::eos {
+
+/// Direct (integral-evaluation) stellar EOS.
+class HelmholtzEos final : public Eos {
+ public:
+  HelmholtzEos() = default;
+
+  void eval(Mode mode, std::span<State> row) const override;
+
+  /// Evaluate at (rho, T) filling every output (the other modes wrap this
+  /// in a temperature Newton iteration).
+  void eval_dens_temp(State& s) const;
+
+  /// Solve charge neutrality for the degeneracy parameter eta at
+  /// (rho, T, zbar/abar). Exposed for tests.
+  [[nodiscard]] double solve_eta(double rho, double temp, double ye) const;
+
+  /// The electron/positron part alone, as a function of the *electron*
+  /// density coordinate rho_ye = rho * Ye and T — the quantity the
+  /// production table (HelmTable) tabulates, exactly as FLASH's
+  /// helm_table.dat is indexed by (rho*Ye, T). Volumetric units;
+  /// derivatives are with respect to rho_ye and T.
+  struct EpState {
+    double p = 0, p_d = 0, p_t = 0;    ///< pressure [erg/cm^3] and partials
+    double e = 0, e_d = 0, e_t = 0;    ///< energy density [erg/cm^3]
+    double s = 0, s_t = 0;             ///< entropy density [erg/cm^3/K]
+    double eta = 0, eta_d = 0, eta_t = 0;  ///< degeneracy parameter
+  };
+  [[nodiscard]] EpState eval_ep(double rho_ye, double temp) const;
+
+  /// Valid input domain (documented, enforced).
+  static constexpr double kMinTemp = 1.0e3;
+  static constexpr double kMaxTemp = 1.0e12;
+  static constexpr double kMinRho = 1.0e-8;
+  static constexpr double kMaxRho = 1.0e12;
+
+ private:
+  /// Newton iteration on T for the kDensEner / kDensPres modes.
+  void invert(Mode mode, State& s) const;
+};
+
+}  // namespace fhp::eos

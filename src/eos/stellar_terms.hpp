@@ -1,0 +1,130 @@
+/// \file stellar_terms.hpp
+/// \brief Shared assembly of the full stellar EOS state.
+///
+/// Both the direct HelmholtzEos and the tabulated HelmTableEos produce the
+/// electron/positron part (EpPart); ions and radiation are analytic and
+/// identical. assemble_state() adds them and derives the secondary
+/// quantities (cv, cp, Gamma1, sound speed). invert_temperature() is the
+/// shared safeguarded Newton used by the kDensEner / kDensPres modes.
+
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "eos/eos_types.hpp"
+#include "support/constants.hpp"
+#include "support/error.hpp"
+
+namespace fhp::eos::detail {
+
+/// Electron/positron contribution at (rho, T, composition), volumetric,
+/// with derivatives w.r.t. the *actual* density rho and temperature.
+struct EpPart {
+  double p = 0;         ///< pressure [erg/cm^3]
+  double dpdr = 0;      ///< dP/dRho |_T
+  double dpdt = 0;      ///< dP/dT |_Rho
+  double e_vol = 0;     ///< energy density [erg/cm^3]
+  double de_vol_dt = 0; ///< dE_vol/dT |_Rho
+  double s_vol = 0;     ///< entropy density [erg/cm^3/K]
+  double eta = 0;       ///< degeneracy parameter
+};
+
+/// Fill every output of \p s from the e+/e- part plus analytic ions and
+/// radiation. Requires s.rho, s.temp, s.abar, s.zbar set.
+inline void assemble_state(State& s, const EpPart& ep) {
+  namespace c = fhp::constants;
+
+  // Ions: ideal Maxwell-Boltzmann gas with Sackur-Tetrode entropy.
+  const double r_ion = c::kAvogadro * c::kBoltzmann / s.abar;  // erg/(g K)
+  const double p_ion = s.rho * r_ion * s.temp;
+  const double e_ion = 1.5 * r_ion * s.temp;  // specific
+  const double m_ion = s.abar * c::kAtomicMassUnit;
+  const double n_ion = s.rho * c::kAvogadro / s.abar;
+  const double lambda3 =
+      std::pow(c::kPlanck * c::kPlanck /
+                   (2.0 * M_PI * m_ion * c::kBoltzmann * s.temp),
+               1.5);
+  const double s_ion =
+      r_ion * (2.5 + std::log(std::max(1e-300, 1.0 / (n_ion * lambda3))));
+
+  // Radiation: black body.
+  const double a = c::kRadiationConstant;
+  const double t3 = s.temp * s.temp * s.temp;
+  const double p_rad = a * t3 * s.temp / 3.0;
+  const double e_rad = a * t3 * s.temp / s.rho;  // specific
+  const double s_rad = 4.0 * a * t3 / (3.0 * s.rho);
+
+  s.pres = ep.p + p_ion + p_rad;
+  s.ener = ep.e_vol / s.rho + e_ion + e_rad;
+  s.entr = ep.s_vol / s.rho + s_ion + s_rad;
+  s.eta = ep.eta;
+
+  s.dpdt = ep.dpdt + s.rho * r_ion + 4.0 * a * t3 / 3.0;
+  s.dpdr = ep.dpdr + r_ion * s.temp;
+  s.cv = ep.de_vol_dt / s.rho + 1.5 * r_ion + 4.0 * a * t3 / s.rho;
+  s.dedt = s.cv;
+
+  if (!(s.pres > 0.0) || !(s.cv > 0.0) || !(s.dpdr > 0.0)) {
+    throw NumericsError("stellar EOS produced an unphysical state (rho=" +
+                        std::to_string(s.rho) + ", T=" +
+                        std::to_string(s.temp) + ")");
+  }
+
+  const double chi_r = s.dpdr * s.rho / s.pres;
+  const double chi_t = s.dpdt * s.temp / s.pres;
+  const double gamma3m1 = s.pres * chi_t / (s.rho * s.temp * s.cv);
+  s.gamma1 = chi_r + chi_t * gamma3m1;
+  s.cp = s.cv + s.pres * chi_t * chi_t / (s.rho * s.temp * chi_r);
+  s.cs = std::sqrt(std::max(0.0, s.gamma1 * s.pres / s.rho));
+}
+
+/// Safeguarded Newton on temperature for the energy/pressure input modes.
+/// \p eval_dt must fill \p s consistently from (s.rho, s.temp).
+template <typename EvalDtFn>
+void invert_temperature(EvalDtFn&& eval_dt, Mode mode, State& s, double tmin,
+                        double tmax) {
+  const bool want_ener = mode == Mode::kDensEner;
+  const double target = want_ener ? s.ener : s.pres;
+  FHP_REQUIRE(target > 0.0, "temperature inversion target must be positive");
+
+  double lo = tmin, hi = tmax;
+  double temp = (s.temp >= lo && s.temp <= hi) ? s.temp : std::sqrt(lo * hi);
+
+  for (int iter = 0; iter < 100; ++iter) {
+    s.temp = temp;
+    eval_dt(s);
+    const double value = want_ener ? s.ener : s.pres;
+    const double slope = want_ener ? s.dedt : s.dpdt;
+    const double f = value - target;
+    if (std::fabs(f) <= 1e-11 * target) {
+      if (want_ener) {
+        s.ener = target;
+      } else {
+        s.pres = target;
+      }
+      return;
+    }
+    if (f > 0) {
+      hi = temp;
+    } else {
+      lo = temp;
+    }
+    // Bracket collapsed onto a domain boundary: the target is below the
+    // T_min state (or above T_max). Pin to the boundary — FLASH's
+    // Helmholtz EOS clamps to its table floor the same way; the returned
+    // state is the boundary state, *not* the (unreachable) target.
+    if (hi <= lo * (1.0 + 1e-12)) {
+      s.temp = f > 0 ? lo : hi;
+      eval_dt(s);
+      return;
+    }
+    double next = slope > 0 ? temp - f / slope : 0.0;
+    if (!(next > lo && next < hi)) next = std::sqrt(lo * hi);
+    temp = next;
+  }
+  throw NumericsError("temperature inversion (" +
+                      std::string(to_string(mode)) + ") did not converge");
+}
+
+}  // namespace fhp::eos::detail

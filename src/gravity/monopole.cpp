@@ -1,0 +1,123 @@
+#include "gravity/monopole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/constants.hpp"
+#include "support/error.hpp"
+
+namespace fhp::gravity {
+
+using mesh::var::kDens;
+using mesh::var::kEner;
+using mesh::var::kVelx;
+using mesh::var::kVely;
+using mesh::var::kVelz;
+
+MonopoleGravity::MonopoleGravity(std::array<double, 3> center, int nshells)
+    : center_(center), nshells_(nshells) {
+  FHP_REQUIRE(nshells >= 16, "monopole gravity needs >= 16 shells");
+  enclosed_.assign(static_cast<std::size_t>(nshells_) + 1, 0.0);
+}
+
+void MonopoleGravity::update(const mesh::AmrMesh& mesh) {
+  const mesh::MeshConfig& c = mesh.config();
+
+  // Domain-corner distance bounds the shell grid.
+  double rmax = 0.0;
+  for (int corner = 0; corner < 8; ++corner) {
+    const double x = (corner & 1) ? c.hi[0] : c.lo[0];
+    const double y = (corner & 2) ? c.hi[1] : c.lo[1];
+    const double z = c.ndim >= 3 ? ((corner & 4) ? c.hi[2] : c.lo[2]) : 0.0;
+    const double dxc = x - center_[0];
+    const double dyc = y - center_[1];
+    const double dzc = z - center_[2];
+    rmax = std::max(rmax, std::sqrt(dxc * dxc + dyc * dyc + dzc * dzc));
+  }
+  rmax_ = rmax;
+
+  std::vector<double> shell_mass(static_cast<std::size_t>(nshells_), 0.0);
+  const double dr = rmax_ / nshells_;
+
+  for (int b : mesh.tree().leaves_morton()) {
+    for (int k = c.klo(); k < c.khi(); ++k) {
+      for (int j = c.jlo(); j < c.jhi(); ++j) {
+        for (int i = c.ilo(); i < c.ihi(); ++i) {
+          const double x = mesh.xcenter(b, i) - center_[0];
+          const double y = mesh.ycenter(b, j) - center_[1];
+          const double z = mesh.zcenter(b, k) - center_[2];
+          const double radius = std::sqrt(x * x + y * y + z * z);
+          const double mass = mesh.unk().at(kDens, i, j, k, b) *
+                              mesh.cell_volume(b, i, j, k);
+          const int shell = std::min(
+              nshells_ - 1, static_cast<int>(radius / dr));
+          shell_mass[static_cast<std::size_t>(shell)] += mass;
+        }
+      }
+    }
+  }
+
+  enclosed_[0] = 0.0;
+  for (int s = 0; s < nshells_; ++s) {
+    enclosed_[static_cast<std::size_t>(s) + 1] =
+        enclosed_[static_cast<std::size_t>(s)] +
+        shell_mass[static_cast<std::size_t>(s)];
+  }
+  total_mass_ = enclosed_.back();
+}
+
+double MonopoleGravity::enclosed_mass(double radius) const {
+  if (rmax_ <= 0.0) return 0.0;
+  const double f = std::clamp(radius / rmax_, 0.0, 1.0) * nshells_;
+  const int s = std::min(nshells_ - 1, static_cast<int>(f));
+  const double u = f - s;
+  return (1.0 - u) * enclosed_[static_cast<std::size_t>(s)] +
+         u * enclosed_[static_cast<std::size_t>(s) + 1];
+}
+
+double MonopoleGravity::g_at(double radius) const {
+  if (radius <= 0.0) return 0.0;
+  return constants::kGravitational * enclosed_mass(radius) /
+         (radius * radius);
+}
+
+std::array<double, 3> MonopoleGravity::accel(double x, double y,
+                                             double z) const {
+  const double dxc = x - center_[0];
+  const double dyc = y - center_[1];
+  const double dzc = z - center_[2];
+  const double radius = std::sqrt(dxc * dxc + dyc * dyc + dzc * dzc);
+  if (radius <= 0.0) return {0.0, 0.0, 0.0};
+  const double g = g_at(radius);
+  return {-g * dxc / radius, -g * dyc / radius, -g * dzc / radius};
+}
+
+void MonopoleGravity::apply_source(mesh::AmrMesh& mesh, double dt) const {
+  const mesh::MeshConfig& c = mesh.config();
+  mesh::UnkContainer& unk = mesh.unk();
+  for (int b : mesh.tree().leaves_morton()) {
+    for (int k = c.klo(); k < c.khi(); ++k) {
+      for (int j = c.jlo(); j < c.jhi(); ++j) {
+        for (int i = c.ilo(); i < c.ihi(); ++i) {
+          const auto g = accel(mesh.xcenter(b, i), mesh.ycenter(b, j),
+                               mesh.zcenter(b, k));
+          const double vx0 = unk.at(kVelx, i, j, k, b);
+          const double vy0 = unk.at(kVely, i, j, k, b);
+          const double vz0 = unk.at(kVelz, i, j, k, b);
+          const double vx1 = vx0 + g[0] * dt;
+          const double vy1 = vy0 + g[1] * dt;
+          const double vz1 = vz0 + g[2] * dt;
+          unk.at(kVelx, i, j, k, b) = vx1;
+          unk.at(kVely, i, j, k, b) = vy1;
+          unk.at(kVelz, i, j, k, b) = vz1;
+          // Time-centered work term keeps the update second order.
+          unk.at(kEner, i, j, k, b) +=
+              0.5 * dt *
+              ((vx0 + vx1) * g[0] + (vy0 + vy1) * g[1] + (vz0 + vz1) * g[2]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fhp::gravity

@@ -1,0 +1,142 @@
+#include "gravity/white_dwarf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/constants.hpp"
+#include "support/error.hpp"
+
+namespace fhp::gravity {
+
+namespace {
+
+/// Invert rho from (P, T) by Newton on the EOS's dpdr.
+double density_from_pressure(const eos::Eos& eos, double pressure,
+                             double temperature, double abar, double zbar,
+                             double rho_guess) {
+  eos::State s;
+  s.abar = abar;
+  s.zbar = zbar;
+  s.temp = temperature;
+  double rho = rho_guess;
+  for (int iter = 0; iter < 60; ++iter) {
+    s.rho = rho;
+    s.temp = temperature;
+    eos.eval_one(eos::Mode::kDensTemp, s);
+    const double f = s.pres - pressure;
+    if (std::fabs(f) <= 1e-10 * pressure) return rho;
+    double next = rho - f / s.dpdr;
+    if (!(next > 0.0)) next = 0.5 * rho;
+    // Pressure is monotone in rho; damp big jumps for stability.
+    next = std::clamp(next, 0.3 * rho, 3.0 * rho);
+    if (std::fabs(next - rho) <= 1e-12 * rho) return next;
+    rho = next;
+  }
+  throw NumericsError("white dwarf: rho(P,T) inversion did not converge");
+}
+
+}  // namespace
+
+WhiteDwarfModel::WhiteDwarfModel(const eos::Eos& eos, const WdParams& params)
+    : params_(params) {
+  namespace c = fhp::constants;
+  FHP_REQUIRE(params.central_density > params.floor_density,
+              "central density below the floor");
+
+  eos::State center;
+  center.abar = params.abar;
+  center.zbar = params.zbar;
+  center.rho = params.central_density;
+  center.temp = params.core_temperature;
+  eos.eval_one(eos::Mode::kDensTemp, center);
+
+  double radius = params.step_cm;  // start one step off the singular origin
+  double rho = params.central_density;
+  double pressure = center.pres;
+  // Mass of the initial uniform-density sphere.
+  double mass = 4.0 / 3.0 * M_PI * radius * radius * radius * rho;
+
+  r_.push_back(0.0);
+  rho_.push_back(rho);
+  p_.push_back(pressure);
+  m_.push_back(0.0);
+  r_.push_back(radius);
+  rho_.push_back(rho);
+  p_.push_back(pressure);
+  m_.push_back(mass);
+
+  for (int step = 0; step < params.max_steps; ++step) {
+    const double h = params.step_cm;
+    // RK2 (midpoint) on the coupled (P, M) system; rho follows from the
+    // EOS at each stage.
+    auto dpdr_fn = [&](double rr, double rho_local, double m_local) {
+      return -c::kGravitational * m_local * rho_local / (rr * rr);
+    };
+    const double dp1 = dpdr_fn(radius, rho, mass);
+    const double dm1 = 4.0 * M_PI * radius * radius * rho;
+
+    const double p_half = pressure + 0.5 * h * dp1;
+    if (p_half <= 0.0) break;
+    const double m_half = mass + 0.5 * h * dm1;
+    const double r_half = radius + 0.5 * h;
+    const double rho_half = density_from_pressure(
+        eos, p_half, params.core_temperature, params.abar, params.zbar, rho);
+    if (rho_half <= params.floor_density) break;
+
+    const double dp2 = dpdr_fn(r_half, rho_half, m_half);
+    const double dm2 = 4.0 * M_PI * r_half * r_half * rho_half;
+
+    const double p_next = pressure + h * dp2;
+    if (p_next <= 0.0) break;
+    const double m_next = mass + h * dm2;
+    const double r_next = radius + h;
+    double rho_next;
+    try {
+      rho_next = density_from_pressure(eos, p_next, params.core_temperature,
+                                       params.abar, params.zbar, rho_half);
+    } catch (const NumericsError&) {
+      break;  // fell off the EOS table: the surface
+    }
+    if (rho_next <= params.floor_density) break;
+
+    radius = r_next;
+    pressure = p_next;
+    mass = m_next;
+    rho = rho_next;
+    r_.push_back(radius);
+    rho_.push_back(rho);
+    p_.push_back(pressure);
+    m_.push_back(mass);
+  }
+
+  radius_ = radius;
+  mass_ = mass;
+  FHP_CHECK(r_.size() >= 8, "white dwarf integration terminated immediately");
+}
+
+double WhiteDwarfModel::interp(const std::vector<double>& y,
+                               double radius) const {
+  if (radius <= 0.0) return y.front();
+  if (radius >= radius_) return y.back();
+  // Uniform steps after the first interval make lookup O(1).
+  const auto it = std::upper_bound(r_.begin(), r_.end(), radius);
+  const auto hi = static_cast<std::size_t>(it - r_.begin());
+  const std::size_t lo = hi - 1;
+  const double u = (radius - r_[lo]) / (r_[hi] - r_[lo]);
+  return (1.0 - u) * y[lo] + u * y[hi];
+}
+
+double WhiteDwarfModel::density_at(double radius) const {
+  if (radius >= radius_) return params_.floor_density;
+  return std::max(params_.floor_density, interp(rho_, radius));
+}
+
+double WhiteDwarfModel::pressure_at(double radius) const {
+  return interp(p_, radius);
+}
+
+double WhiteDwarfModel::enclosed_mass_at(double radius) const {
+  return interp(m_, radius);
+}
+
+}  // namespace fhp::gravity

@@ -1,0 +1,202 @@
+#include "hydro/riemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fhp::hydro {
+
+namespace {
+
+double sound_speed(const PrimState& w) noexcept {
+  return std::sqrt(std::max(0.0, w.gamc * w.p / w.rho));
+}
+
+double total_energy_density(const PrimState& w) noexcept {
+  const double eint = w.p / ((w.game - 1.0) * w.rho);  // specific
+  const double ke =
+      0.5 * (w.u * w.u + w.ut1 * w.ut1 + w.ut2 * w.ut2);
+  return w.rho * (eint + ke);
+}
+
+Flux physical_flux(const PrimState& w) noexcept {
+  Flux f;
+  const double E = total_energy_density(w);
+  f.mass = w.rho * w.u;
+  f.mom_n = w.rho * w.u * w.u + w.p;
+  f.mom_t1 = w.rho * w.u * w.ut1;
+  f.mom_t2 = w.rho * w.u * w.ut2;
+  f.energy = w.u * (E + w.p);
+  return f;
+}
+
+}  // namespace
+
+Flux hllc(const PrimState& left, const PrimState& right) {
+  const double cl = sound_speed(left);
+  const double cr = sound_speed(right);
+
+  // Davis wave-speed estimates.
+  const double sl = std::min(left.u - cl, right.u - cr);
+  const double sr = std::max(left.u + cl, right.u + cr);
+
+  if (sl >= 0.0) return physical_flux(left);
+  if (sr <= 0.0) return physical_flux(right);
+
+  // Contact speed (Toro 10.37).
+  const double num = right.p - left.p + left.rho * left.u * (sl - left.u) -
+                     right.rho * right.u * (sr - right.u);
+  const double den =
+      left.rho * (sl - left.u) - right.rho * (sr - right.u);
+  const double sm = den != 0.0 ? num / den : 0.0;
+
+  const PrimState& w = sm >= 0.0 ? left : right;
+  const double s = sm >= 0.0 ? sl : sr;
+  const Flux f = physical_flux(w);
+  const double E = total_energy_density(w);
+
+  // Star-region conserved state (Toro 10.39).
+  const double factor = w.rho * (s - w.u) / (s - sm);
+  const double u_star[5] = {
+      factor,
+      factor * sm,
+      factor * w.ut1,
+      factor * w.ut2,
+      factor * (E / w.rho +
+                (sm - w.u) * (sm + w.p / (w.rho * (s - w.u)))),
+  };
+  const double u_orig[5] = {
+      w.rho, w.rho * w.u, w.rho * w.ut1, w.rho * w.ut2, E,
+  };
+
+  Flux out;
+  out.mass = f.mass + s * (u_star[0] - u_orig[0]);
+  out.mom_n = f.mom_n + s * (u_star[1] - u_orig[1]);
+  out.mom_t1 = f.mom_t1 + s * (u_star[2] - u_orig[2]);
+  out.mom_t2 = f.mom_t2 + s * (u_star[3] - u_orig[3]);
+  out.energy = f.energy + s * (u_star[4] - u_orig[4]);
+  return out;
+}
+
+ExactRiemann::StarState ExactRiemann::solve(const PrimState& left,
+                                            const PrimState& right) const {
+  const double g = gamma_;
+  const double cl = std::sqrt(g * left.p / left.rho);
+  const double cr = std::sqrt(g * right.p / right.rho);
+
+  FHP_REQUIRE(2.0 * (cl + cr) / (g - 1.0) > right.u - left.u,
+              "vacuum-generating Riemann data");
+
+  // Pressure function and derivative for one side (Toro 4.6-4.37).
+  auto side = [g](double p, const PrimState& w, double c) {
+    if (p > w.p) {  // shock
+      const double a = 2.0 / ((g + 1.0) * w.rho);
+      const double b = (g - 1.0) / (g + 1.0) * w.p;
+      const double root = std::sqrt(a / (p + b));
+      const double f = (p - w.p) * root;
+      const double fd = root * (1.0 - 0.5 * (p - w.p) / (p + b));
+      return std::pair{f, fd};
+    }
+    // rarefaction
+    const double pr = p / w.p;
+    const double f =
+        2.0 * c / (g - 1.0) * (std::pow(pr, (g - 1.0) / (2.0 * g)) - 1.0);
+    const double fd = std::pow(pr, -(g + 1.0) / (2.0 * g)) / (w.rho * c);
+    return std::pair{f, fd};
+  };
+
+  // Initial guess: two-rarefaction approximation (robust).
+  const double z = (g - 1.0) / (2.0 * g);
+  double p = std::pow(
+      (cl + cr - 0.5 * (g - 1.0) * (right.u - left.u)) /
+          (cl / std::pow(left.p, z) + cr / std::pow(right.p, z)),
+      1.0 / z);
+  p = std::max(p, 1e-14 * std::max(left.p, right.p));
+
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto [fl, fld] = side(p, left, cl);
+    const auto [fr, frd] = side(p, right, cr);
+    const double f = fl + fr + (right.u - left.u);
+    const double step = f / (fld + frd);
+    double next = p - step;
+    if (next <= 0.0) next = 0.5 * p;
+    if (std::fabs(next - p) <= 1e-13 * std::max(next, p)) {
+      p = next;
+      break;
+    }
+    p = next;
+  }
+  const auto [fl, fld] = side(p, left, cl);
+  const auto [fr, frd] = side(p, right, cr);
+  (void)fld;
+  (void)frd;
+  return {p, 0.5 * (left.u + right.u) + 0.5 * (fr - fl)};
+}
+
+std::array<double, 3> ExactRiemann::sample(const PrimState& left,
+                                           const PrimState& right,
+                                           double s) const {
+  const double g = gamma_;
+  const StarState star = solve(left, right);
+  const double cl = std::sqrt(g * left.p / left.rho);
+  const double cr = std::sqrt(g * right.p / right.rho);
+
+  if (s <= star.u) {
+    // Left of the contact.
+    const PrimState& w = left;
+    if (star.p > w.p) {  // left shock
+      const double ps = star.p / w.p;
+      const double ss =
+          w.u - cl * std::sqrt((g + 1.0) / (2.0 * g) * ps +
+                               (g - 1.0) / (2.0 * g));
+      if (s < ss) return {w.rho, w.u, w.p};
+      const double rho_star =
+          w.rho * (ps + (g - 1.0) / (g + 1.0)) /
+          ((g - 1.0) / (g + 1.0) * ps + 1.0);
+      return {rho_star, star.u, star.p};
+    }
+    // left rarefaction
+    const double sh = w.u - cl;
+    const double c_star = cl * std::pow(star.p / w.p, (g - 1.0) / (2.0 * g));
+    const double st = star.u - c_star;
+    if (s < sh) return {w.rho, w.u, w.p};
+    if (s > st) {
+      const double rho_star = w.rho * std::pow(star.p / w.p, 1.0 / g);
+      return {rho_star, star.u, star.p};
+    }
+    // inside the fan
+    const double u = 2.0 / (g + 1.0) * (cl + 0.5 * (g - 1.0) * w.u + s);
+    const double c = 2.0 / (g + 1.0) * (cl + 0.5 * (g - 1.0) * (w.u - s));
+    const double rho = w.rho * std::pow(c / cl, 2.0 / (g - 1.0));
+    const double p = w.p * std::pow(c / cl, 2.0 * g / (g - 1.0));
+    return {rho, u, p};
+  }
+
+  // Right of the contact (mirror).
+  const PrimState& w = right;
+  if (star.p > w.p) {  // right shock
+    const double ps = star.p / w.p;
+    const double ss = w.u + cr * std::sqrt((g + 1.0) / (2.0 * g) * ps +
+                                           (g - 1.0) / (2.0 * g));
+    if (s > ss) return {w.rho, w.u, w.p};
+    const double rho_star = w.rho * (ps + (g - 1.0) / (g + 1.0)) /
+                            ((g - 1.0) / (g + 1.0) * ps + 1.0);
+    return {rho_star, star.u, star.p};
+  }
+  const double sh = w.u + cr;
+  const double c_star = cr * std::pow(star.p / w.p, (g - 1.0) / (2.0 * g));
+  const double st = star.u + c_star;
+  if (s > sh) return {w.rho, w.u, w.p};
+  if (s < st) {
+    const double rho_star = w.rho * std::pow(star.p / w.p, 1.0 / g);
+    return {rho_star, star.u, star.p};
+  }
+  const double u = 2.0 / (g + 1.0) * (-cr + 0.5 * (g - 1.0) * w.u + s);
+  const double c = 2.0 / (g + 1.0) * (cr - 0.5 * (g - 1.0) * (w.u - s));
+  const double rho = w.rho * std::pow(c / cr, 2.0 / (g - 1.0));
+  const double p = w.p * std::pow(c / cr, 2.0 * g / (g - 1.0));
+  return {rho, u, p};
+}
+
+}  // namespace fhp::hydro

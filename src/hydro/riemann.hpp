@@ -1,0 +1,67 @@
+/// \file riemann.hpp
+/// \brief Riemann solvers: exact (ideal gas) and HLLC (general EOS).
+///
+/// The exact solver (Toro ch. 4) is the reference for the Sod shock-tube
+/// tests; the production solver in the sweeps is HLLC with Davis wave-speed
+/// estimates, which needs only the local sound speeds and therefore works
+/// with the tabulated stellar EOS through the frozen-gamma approximation.
+
+#pragma once
+
+#include <array>
+
+namespace fhp::hydro {
+
+/// Primitive state on one side of an interface (1-d normal frame).
+struct PrimState {
+  double rho = 0;   ///< density
+  double u = 0;     ///< normal velocity
+  double ut1 = 0;   ///< transverse velocity 1 (passively advected)
+  double ut2 = 0;   ///< transverse velocity 2
+  double p = 0;     ///< pressure
+  double game = 0;  ///< energy gamma: p/(rho*eint) + 1
+  double gamc = 0;  ///< sound-speed gamma: c^2 = gamc p / rho
+};
+
+/// Conservative flux through the interface (normal frame):
+/// [mass, normal momentum, transverse momenta, total energy].
+struct Flux {
+  double mass = 0;
+  double mom_n = 0;
+  double mom_t1 = 0;
+  double mom_t2 = 0;
+  double energy = 0;
+  /// Signed mass flux is also what advects scalars; the caller upwinds
+  /// scalar values with the sign of `mass`.
+};
+
+/// HLLC approximate Riemann solver (Toro ch. 10). Robust for strong
+/// shocks; exactly resolves isolated contacts.
+[[nodiscard]] Flux hllc(const PrimState& left, const PrimState& right);
+
+/// Exact Riemann solver for an ideal gas with a single gamma.
+class ExactRiemann {
+ public:
+  explicit ExactRiemann(double gamma) : gamma_(gamma) {}
+
+  struct StarState {
+    double p = 0;  ///< pressure in the star region
+    double u = 0;  ///< velocity in the star region
+  };
+
+  /// Solve for the star-region pressure/velocity (Newton on the pressure
+  /// function; converges for any physical input without vacuum).
+  [[nodiscard]] StarState solve(const PrimState& left,
+                                const PrimState& right) const;
+
+  /// Sample the self-similar solution at speed s = x/t.
+  /// Returns (rho, u, p) at that ray.
+  [[nodiscard]] std::array<double, 3> sample(const PrimState& left,
+                                             const PrimState& right,
+                                             double s) const;
+
+ private:
+  double gamma_;
+};
+
+}  // namespace fhp::hydro

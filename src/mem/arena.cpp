@@ -1,0 +1,99 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mem/page_size.hpp"
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace fhp::mem {
+
+Arena::Arena(HugePolicy policy, std::size_t chunk_bytes)
+    : policy_(policy), chunk_bytes_(chunk_bytes) {
+  FHP_REQUIRE(chunk_bytes_ >= kPage2M,
+              "arena chunk size must be at least one huge page (2 MiB)");
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  MapRequest req;
+  req.bytes = std::max(min_bytes, chunk_bytes_);
+  req.policy = policy_;
+  req.prefault = true;
+  MappedRegion region(req);
+  switch (region.backing()) {
+    case Backing::kHugetlbfs: ++stats_.hugetlb_chunks; break;
+    case Backing::kThp: ++stats_.thp_chunks; break;
+    case Backing::kSmallPages: ++stats_.small_chunks; break;
+  }
+  stats_.bytes_reserved += region.size();
+  ++stats_.chunk_count;
+  cursor_ = static_cast<std::byte*>(region.data());
+  chunk_end_ = cursor_ + region.size();
+  chunks_.push_back(std::move(region));
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  FHP_REQUIRE(bytes > 0, "zero-byte arena allocation");
+  FHP_REQUIRE(is_pow2(alignment), "alignment must be a power of two");
+  std::lock_guard lock(mutex_);
+
+  auto align_up = [alignment](std::byte* p) {
+    auto v = reinterpret_cast<std::uintptr_t>(p);
+    v = (v + alignment - 1) & ~(alignment - 1);
+    return reinterpret_cast<std::byte*>(v);
+  };
+
+  std::byte* aligned = align_up(cursor_);
+  if (cursor_ == nullptr ||
+      aligned + bytes > chunk_end_) {
+    add_chunk(bytes + alignment);
+    aligned = align_up(cursor_);
+    FHP_CHECK(aligned + bytes <= chunk_end_, "fresh chunk too small");
+  }
+  cursor_ = aligned + bytes;
+  stats_.bytes_requested += bytes;
+  ++stats_.allocation_count;
+  return aligned;
+}
+
+void Arena::release() noexcept {
+  std::lock_guard lock(mutex_);
+  chunks_.clear();
+  cursor_ = nullptr;
+  chunk_end_ = nullptr;
+  stats_ = ArenaStats{};
+}
+
+ArenaStats Arena::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t Arena::resident_huge_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.resident_huge_bytes();
+  return total;
+}
+
+std::string Arena::report() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream os;
+  os << "Arena[policy=" << to_string(policy_) << "] " << chunks_.size()
+     << " chunk(s), " << format_bytes(stats_.bytes_reserved) << " reserved, "
+     << format_bytes(stats_.bytes_requested) << " allocated in "
+     << stats_.allocation_count << " allocation(s)\n";
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    os << "  chunk " << i << ": " << chunks_[i].describe() << ", huge-resident "
+       << format_bytes(chunks_[i].resident_huge_bytes()) << '\n';
+  }
+  return os.str();
+}
+
+Arena& global_arena() {
+  static Arena arena(default_policy());
+  return arena;
+}
+
+}  // namespace fhp::mem

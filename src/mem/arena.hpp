@@ -1,0 +1,95 @@
+/// \file arena.hpp
+/// \brief Monotonic arena over huge-page-backed mapped regions.
+///
+/// FLASH's mesh data (`unk` and friends) is allocated once at startup and
+/// lives for the whole run — a monotonic arena is the right shape. The
+/// arena grows in large chunks (default 64 MiB) obtained through
+/// MappedRegion under the arena's HugePolicy, so one policy switch moves
+/// every simulation array between page regimes, exactly like the Fujitsu
+/// runtime does for FLASH.
+///
+/// Thread-safety: allocation takes an internal mutex (cheap; the hot paths
+/// of the simulation never allocate).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/huge_policy.hpp"
+#include "mem/mapped_region.hpp"
+
+namespace fhp::mem {
+
+/// Aggregate statistics for an Arena.
+struct ArenaStats {
+  std::size_t bytes_requested = 0;  ///< sum of allocation sizes
+  std::size_t bytes_reserved = 0;   ///< sum of chunk sizes mapped
+  std::size_t chunk_count = 0;
+  std::size_t allocation_count = 0;
+  std::size_t hugetlb_chunks = 0;   ///< chunks that got explicit hugetlb
+  std::size_t thp_chunks = 0;       ///< chunks that are THP-eligible
+  std::size_t small_chunks = 0;     ///< chunks on base pages
+};
+
+/// Monotonic allocator with pluggable page policy.
+class Arena {
+ public:
+  /// \param policy page regime for all chunks.
+  /// \param chunk_bytes growth quantum; individual allocations larger than
+  ///        this get a dedicated chunk of their own size.
+  explicit Arena(HugePolicy policy = default_policy(),
+                 std::size_t chunk_bytes = 64ull << 20);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate \p bytes with \p alignment (power of two, <= chunk size).
+  /// Never returns nullptr; throws fhp::SystemError on exhaustion.
+  void* allocate(std::size_t bytes, std::size_t alignment = 64);
+
+  /// Typed convenience: allocate a zero-initialized array of \p count T.
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T) > 64
+                                                           ? alignof(T)
+                                                           : 64));
+  }
+
+  /// Monotonic arenas do not free individual allocations; deallocate is a
+  /// no-op provided for allocator-interface compatibility.
+  void deallocate(void* /*ptr*/, std::size_t /*bytes*/) noexcept {}
+
+  /// Drop every chunk (invalidates all outstanding allocations).
+  void release() noexcept;
+
+  [[nodiscard]] HugePolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] ArenaStats stats() const;
+
+  /// Bytes of arena memory currently resident on huge pages (per smaps).
+  [[nodiscard]] std::uint64_t resident_huge_bytes() const;
+
+  /// Multi-line report of chunks and backing, for run logs.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void add_chunk(std::size_t min_bytes);
+
+  mutable std::mutex mutex_;
+  HugePolicy policy_;
+  std::size_t chunk_bytes_;
+  std::vector<MappedRegion> chunks_;
+  std::byte* cursor_ = nullptr;  // next free byte in the last chunk
+  std::byte* chunk_end_ = nullptr;
+  ArenaStats stats_;
+};
+
+/// The process-wide arena used by the mesh/EOS containers unless an
+/// explicit arena is supplied. Its policy is fixed on first use from
+/// mem::default_policy() (i.e. the environment).
+[[nodiscard]] Arena& global_arena();
+
+}  // namespace fhp::mem

@@ -1,0 +1,66 @@
+#include "mem/huge_policy.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace fhp::mem {
+
+std::string_view to_string(HugePolicy policy) noexcept {
+  switch (policy) {
+    case HugePolicy::kNone: return "none";
+    case HugePolicy::kThp: return "thp";
+    case HugePolicy::kHugetlbfs: return "hugetlbfs";
+  }
+  return "?";
+}
+
+std::optional<HugePolicy> parse_huge_policy(std::string_view s) {
+  const std::string v = to_lower(trim(s));
+  if (v == "none" || v == "off" || v == "small") return HugePolicy::kNone;
+  if (v == "thp" || v == "transparent") return HugePolicy::kThp;
+  if (v == "hugetlbfs" || v == "hugetlb" || v == "explicit") {
+    return HugePolicy::kHugetlbfs;
+  }
+  return std::nullopt;
+}
+
+HugePolicy policy_from_environment(HugePolicy fallback) {
+  for (const char* var : {kPolicyEnvVar, kFujitsuPolicyEnvVar}) {
+    if (const char* raw = std::getenv(var); raw != nullptr && *raw != '\0') {
+      const auto parsed = parse_huge_policy(raw);
+      if (!parsed) {
+        throw ConfigError(std::string(var) + "='" + raw +
+                          "' is not a valid page policy "
+                          "(expected none|thp|hugetlbfs)");
+      }
+      return *parsed;
+    }
+  }
+  return fallback;
+}
+
+namespace {
+std::atomic<int> g_default_policy{-1};  // -1: not yet initialized
+}
+
+HugePolicy default_policy() {
+  int v = g_default_policy.load(std::memory_order_acquire);
+  if (v < 0) {
+    const HugePolicy env = policy_from_environment(HugePolicy::kNone);
+    v = static_cast<int>(env);
+    int expected = -1;
+    g_default_policy.compare_exchange_strong(expected, v,
+                                             std::memory_order_acq_rel);
+    v = g_default_policy.load(std::memory_order_acquire);
+  }
+  return static_cast<HugePolicy>(v);
+}
+
+void set_default_policy(HugePolicy policy) noexcept {
+  g_default_policy.store(static_cast<int>(policy), std::memory_order_release);
+}
+
+}  // namespace fhp::mem

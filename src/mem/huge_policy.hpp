@@ -1,0 +1,50 @@
+/// \file huge_policy.hpp
+/// \brief The page-size policy knob: none | thp | hugetlbfs.
+///
+/// This is the library's analog of the Fujitsu runtime's
+/// XOS_MMM_L_HPAGE_TYPE environment variable (values none / hugetlbfs, with
+/// thp additionally accepted on Fugaku/FX700 per the paper §III): one
+/// setting flips every large allocation in the process between page
+/// regimes with no source changes. flashhp reads FLASHHP_HPAGE_TYPE first
+/// and falls back to XOS_MMM_L_HPAGE_TYPE for drop-in compatibility.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fhp::mem {
+
+/// How large allocations should be backed.
+enum class HugePolicy {
+  kNone,       ///< base pages only; THP explicitly disabled via MADV_NOHUGEPAGE
+  kThp,        ///< anonymous mmap + madvise(MADV_HUGEPAGE) (transparent HPs)
+  kHugetlbfs,  ///< explicit MAP_HUGETLB reservations, fall back to THP
+};
+
+/// Canonical lower-case spelling ("none", "thp", "hugetlbfs").
+[[nodiscard]] std::string_view to_string(HugePolicy policy) noexcept;
+
+/// Parse a policy string (case-insensitive); nullopt if unrecognized.
+[[nodiscard]] std::optional<HugePolicy> parse_huge_policy(std::string_view s);
+
+/// Environment variable names honoured by policy_from_environment().
+inline constexpr const char* kPolicyEnvVar = "FLASHHP_HPAGE_TYPE";
+inline constexpr const char* kFujitsuPolicyEnvVar = "XOS_MMM_L_HPAGE_TYPE";
+
+/// Resolve the policy from the environment: FLASHHP_HPAGE_TYPE, then
+/// XOS_MMM_L_HPAGE_TYPE, then the given default. An unparsable value
+/// throws fhp::ConfigError (silent misconfiguration was exactly the
+/// failure mode the paper spent a section debugging).
+[[nodiscard]] HugePolicy policy_from_environment(
+    HugePolicy fallback = HugePolicy::kNone);
+
+/// Process-wide default policy used by Arena when none is given explicitly.
+/// Initialized lazily from policy_from_environment(kNone).
+[[nodiscard]] HugePolicy default_policy();
+
+/// Override the process-wide default (e.g. from a runtime parameter file).
+void set_default_policy(HugePolicy policy) noexcept;
+
+}  // namespace fhp::mem

@@ -1,0 +1,60 @@
+#include "mem/hugeadm.hpp"
+
+#include <fstream>
+
+#include "mem/page_size.hpp"
+#include "support/string_util.hpp"
+#include "support/log.hpp"
+
+namespace fhp::mem {
+
+namespace {
+std::string pool_path(std::size_t page_bytes, const std::string& root) {
+  return root + "/hugepages-" + std::to_string(page_bytes >> 10) +
+         "kB/nr_hugepages";
+}
+}  // namespace
+
+std::optional<std::size_t> ensure_hugetlb_pool(std::size_t page_bytes,
+                                               std::size_t min_pages,
+                                               const std::string& sysfs_root) {
+  const std::string path = pool_path(page_bytes, sysfs_root);
+  std::size_t current = 0;
+  {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    in >> current;
+    if (!in) return std::nullopt;
+  }
+  if (current >= min_pages) return current;
+
+  {
+    std::ofstream out(path);
+    if (!out) {
+      FHP_LOG(kDebug) << "cannot write " << path
+                      << " (not privileged?); pool stays at " << current;
+      return current;
+    }
+    out << min_pages;
+    if (!out) return current;
+  }
+  std::ifstream in(path);
+  std::size_t achieved = 0;
+  in >> achieved;
+  if (achieved < min_pages) {
+    FHP_LOG(kWarn) << "hugetlb pool " << format_bytes(page_bytes)
+                   << ": requested " << min_pages << " pages, kernel granted "
+                   << achieved;
+  }
+  return achieved;
+}
+
+bool release_hugetlb_pool(std::size_t page_bytes, std::size_t pages,
+                          const std::string& sysfs_root) {
+  std::ofstream out(pool_path(page_bytes, sysfs_root));
+  if (!out) return false;
+  out << pages;
+  return static_cast<bool>(out);
+}
+
+}  // namespace fhp::mem

@@ -1,0 +1,34 @@
+/// \file hugeadm.hpp
+/// \brief Hugetlb pool administration — the library's `hugeadm`.
+///
+/// The paper's admins prepared Ookami nodes with the libhugetlbfs-utils
+/// tool `hugeadm` (plus boot parameters hugepagesz=2M hugepagesz=512M
+/// default_hugepagesz=2M) so explicit huge pages could be reserved. This
+/// header provides the same operation programmatically: resize a pool by
+/// writing /sys/kernel/mm/hugepages/hugepages-<N>kB/nr_hugepages.
+/// Requires privilege; callers must treat failure as "pool unavailable"
+/// and fall back (the library's allocation path already does).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace fhp::mem {
+
+/// Request that the pool for \p page_bytes hold at least \p min_pages.
+/// Returns the pool size actually achieved (the kernel may grant fewer
+/// pages under fragmentation), or nullopt if the pool cannot be resized
+/// at all (no such pool, or insufficient privilege).
+std::optional<std::size_t> ensure_hugetlb_pool(
+    std::size_t page_bytes, std::size_t min_pages,
+    const std::string& sysfs_root = "/sys/kernel/mm/hugepages");
+
+/// Shrink the pool back to \p pages (typically 0 after an experiment so
+/// the reservation is returned to the system). Best-effort.
+bool release_hugetlb_pool(
+    std::size_t page_bytes, std::size_t pages = 0,
+    const std::string& sysfs_root = "/sys/kernel/mm/hugepages");
+
+}  // namespace fhp::mem

@@ -1,0 +1,171 @@
+#include "mem/meminfo.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace fhp::mem {
+
+namespace {
+
+/// Parse one "Name:  123 kB" line; returns bytes (kB scaled) or raw count.
+struct Field {
+  std::string_view name;
+  std::uint64_t* dest;
+  bool is_kb;  // value carries a kB suffix and should be scaled to bytes
+};
+
+void parse_fields(std::string_view text, const Field* fields, size_t nfields) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view name = trim(line.substr(0, colon));
+    for (size_t i = 0; i < nfields; ++i) {
+      if (name != fields[i].name) continue;
+      const auto tokens = split_ws(line.substr(colon + 1));
+      if (tokens.empty()) break;
+      const auto value = parse_int(tokens[0]);
+      if (!value || *value < 0) break;
+      std::uint64_t v = static_cast<std::uint64_t>(*value);
+      if (fields[i].is_kb && tokens.size() >= 2 &&
+          (tokens[1] == "kB" || tokens[1] == "KB")) {
+        v <<= 10;
+      }
+      *fields[i].dest = v;
+      break;
+    }
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SystemError("cannot open '" + path + "'", errno);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+MeminfoSnapshot MeminfoSnapshot::parse(std::string_view text) {
+  MeminfoSnapshot s;
+  const Field fields[] = {
+      {"AnonHugePages", &s.anon_huge_pages, true},
+      {"ShmemHugePages", &s.shmem_huge_pages, true},
+      {"FileHugePages", &s.file_huge_pages, true},
+      {"HugePages_Total", &s.huge_pages_total, false},
+      {"HugePages_Free", &s.huge_pages_free, false},
+      {"HugePages_Rsvd", &s.huge_pages_rsvd, false},
+      {"HugePages_Surp", &s.huge_pages_surp, false},
+      {"Hugepagesize", &s.hugepagesize, true},
+      {"Hugetlb", &s.hugetlb, true},
+      {"MemTotal", &s.mem_total, true},
+      {"MemAvailable", &s.mem_available, true},
+  };
+  parse_fields(text, fields, std::size(fields));
+  return s;
+}
+
+MeminfoSnapshot MeminfoSnapshot::capture(const std::string& path) {
+  return parse(slurp(path));
+}
+
+MeminfoSnapshot::Delta MeminfoSnapshot::since(
+    const MeminfoSnapshot& earlier) const {
+  Delta d;
+  d.anon_huge_pages = static_cast<std::int64_t>(anon_huge_pages) -
+                      static_cast<std::int64_t>(earlier.anon_huge_pages);
+  d.shmem_huge_pages = static_cast<std::int64_t>(shmem_huge_pages) -
+                       static_cast<std::int64_t>(earlier.shmem_huge_pages);
+  d.huge_pages_free = static_cast<std::int64_t>(huge_pages_free) -
+                      static_cast<std::int64_t>(earlier.huge_pages_free);
+  d.hugetlb = static_cast<std::int64_t>(hugetlb) -
+              static_cast<std::int64_t>(earlier.hugetlb);
+  return d;
+}
+
+std::string MeminfoSnapshot::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "AnonHugePages=%s HugePages_Total=%" PRIu64
+                " HugePages_Free=%" PRIu64 " Hugepagesize=%s Hugetlb=%s",
+                format_bytes(anon_huge_pages).c_str(), huge_pages_total,
+                huge_pages_free, format_bytes(hugepagesize).c_str(),
+                format_bytes(hugetlb).c_str());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const MeminfoSnapshot& snap) {
+  return os << snap.summary();
+}
+
+SmapsRollup SmapsRollup::parse(std::string_view text) {
+  SmapsRollup s;
+  const Field fields[] = {
+      {"Rss", &s.rss, true},
+      {"AnonHugePages", &s.anon_huge_pages, true},
+      {"ShmemPmdMapped", &s.shmem_pmd_mapped, true},
+      {"Private_Hugetlb", &s.private_hugetlb, true},
+      {"Shared_Hugetlb", &s.shared_hugetlb, true},
+  };
+  parse_fields(text, fields, std::size(fields));
+  return s;
+}
+
+SmapsRollup SmapsRollup::capture(const std::string& path) {
+  return parse(slurp(path));
+}
+
+std::uint64_t range_huge_bytes(const void* addr, std::size_t len,
+                               const std::string& smaps_path) {
+  std::ifstream in(smaps_path);
+  if (!in) return 0;
+  const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+  const auto hi = lo + len;
+
+  std::uint64_t total = 0;
+  bool in_range = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    // VMA header lines look like "7f12...-7f13... rw-p ...".
+    const size_t dash = line.find('-');
+    const size_t space = line.find(' ');
+    if (dash != std::string::npos && space != std::string::npos &&
+        dash < space) {
+      char* end = nullptr;
+      const std::uintptr_t vma_lo = std::strtoull(line.c_str(), &end, 16);
+      const std::uintptr_t vma_hi =
+          std::strtoull(line.c_str() + dash + 1, &end, 16);
+      in_range = vma_lo < hi && vma_hi > lo;
+      continue;
+    }
+    if (!in_range) continue;
+    for (std::string_view key :
+         {"AnonHugePages:", "Private_Hugetlb:", "Shared_Hugetlb:",
+          "ShmemPmdMapped:"}) {
+      if (starts_with(line, key)) {
+        const auto tokens = split_ws(std::string_view(line).substr(key.size()));
+        if (!tokens.empty()) {
+          if (const auto v = parse_int(tokens[0]); v && *v > 0) {
+            total += static_cast<std::uint64_t>(*v) << 10;
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace fhp::mem

@@ -1,0 +1,82 @@
+/// \file meminfo.hpp
+/// \brief /proc/meminfo and /proc/self/smaps_rollup monitors.
+///
+/// The paper verified huge-page usage "by looking at system variables in
+/// /proc/meminfo that would have values if the huge pages were in use":
+/// AnonHugePages, ShmemHugePages, HugePages_Total/Free/Rsvd/Surp,
+/// Hugepagesize, Hugetlb. MeminfoSnapshot captures exactly those fields;
+/// SmapsRollup gives the per-process view (the more precise check).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace fhp::mem {
+
+/// The huge-page-related fields of /proc/meminfo, in bytes (counts for the
+/// HugePages_* pool entries, which /proc reports as page counts).
+struct MeminfoSnapshot {
+  std::uint64_t anon_huge_pages = 0;    ///< AnonHugePages (bytes) — THP
+  std::uint64_t shmem_huge_pages = 0;   ///< ShmemHugePages (bytes)
+  std::uint64_t file_huge_pages = 0;    ///< FileHugePages (bytes)
+  std::uint64_t huge_pages_total = 0;   ///< HugePages_Total (pages)
+  std::uint64_t huge_pages_free = 0;    ///< HugePages_Free (pages)
+  std::uint64_t huge_pages_rsvd = 0;    ///< HugePages_Rsvd (pages)
+  std::uint64_t huge_pages_surp = 0;    ///< HugePages_Surp (pages)
+  std::uint64_t hugepagesize = 0;       ///< Hugepagesize (bytes)
+  std::uint64_t hugetlb = 0;            ///< Hugetlb (bytes)
+  std::uint64_t mem_total = 0;          ///< MemTotal (bytes)
+  std::uint64_t mem_available = 0;      ///< MemAvailable (bytes)
+
+  /// Capture from /proc/meminfo (or another file, for tests).
+  static MeminfoSnapshot capture(const std::string& path = "/proc/meminfo");
+
+  /// Parse from meminfo-format text (fixture-friendly).
+  static MeminfoSnapshot parse(std::string_view text);
+
+  /// Field-wise difference (this - earlier), saturating at zero is NOT
+  /// applied — deltas may be negative conceptually, so this returns signed
+  /// deltas via the named struct below.
+  struct Delta {
+    std::int64_t anon_huge_pages = 0;
+    std::int64_t shmem_huge_pages = 0;
+    std::int64_t huge_pages_free = 0;
+    std::int64_t hugetlb = 0;
+  };
+  [[nodiscard]] Delta since(const MeminfoSnapshot& earlier) const;
+
+  /// Human-readable one-line summary of the huge-page fields.
+  [[nodiscard]] std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const MeminfoSnapshot& snap);
+
+/// Per-process memory rollup (the fields we need from smaps_rollup).
+struct SmapsRollup {
+  std::uint64_t rss = 0;             ///< Rss (bytes)
+  std::uint64_t anon_huge_pages = 0; ///< AnonHugePages (bytes) backing us
+  std::uint64_t shmem_pmd_mapped = 0;
+  std::uint64_t private_hugetlb = 0; ///< Private_Hugetlb (bytes)
+  std::uint64_t shared_hugetlb = 0;
+
+  static SmapsRollup capture(const std::string& path = "/proc/self/smaps_rollup");
+  static SmapsRollup parse(std::string_view text);
+
+  /// Total bytes of this process resident on any kind of huge page.
+  [[nodiscard]] std::uint64_t total_huge_bytes() const noexcept {
+    return anon_huge_pages + shmem_pmd_mapped + private_hugetlb +
+           shared_hugetlb;
+  }
+};
+
+/// Count bytes of a specific VMA range currently backed by huge pages, by
+/// scanning /proc/self/smaps. Slower than smaps_rollup but range-precise;
+/// used by tests and by MappedRegion::resident_huge_bytes().
+[[nodiscard]] std::uint64_t range_huge_bytes(
+    const void* addr, std::size_t len,
+    const std::string& smaps_path = "/proc/self/smaps");
+
+}  // namespace fhp::mem

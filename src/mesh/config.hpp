@@ -1,0 +1,121 @@
+/// \file config.hpp
+/// \brief Mesh configuration: block shape, variables, domain, boundaries.
+///
+/// FLASH/PARAMESH compile the block shape in (NXB x NYB x NZB zones plus
+/// NGUARD guard cells per side) and size the `unk` container as
+/// unk(NUNK_VARS, il:iu, jl:ju, kl:ku, MAXBLOCKS). flashhp keeps the same
+/// quantities as runtime configuration — the paper notes PARAMESH's
+/// "library mode" does the same — so tests and ablations can vary them.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace fhp::mesh {
+
+/// Coordinate geometry of the domain.
+enum class Geometry : std::uint8_t {
+  kCartesian,    ///< planar x/y/z
+  kCylindrical,  ///< 2-d axisymmetric (r, z) — FLASH's supernova geometry
+};
+
+/// Boundary condition applied at a domain face.
+enum class Bc : std::uint8_t {
+  kOutflow,   ///< zero-gradient
+  kReflect,   ///< mirror, normal velocity negated
+  kPeriodic,  ///< wrap to the opposite face
+  kAxis,      ///< cylindrical axis (r = 0): reflect with r-velocity negated
+};
+
+/// Standard FLASH-style variable slots. Setups append mass scalars
+/// (species, flame progress variables) after kFirstScalar.
+namespace var {
+inline constexpr int kDens = 0;  ///< density [g/cm^3]
+inline constexpr int kVelx = 1;  ///< x (or r) velocity [cm/s]
+inline constexpr int kVely = 2;  ///< y (or z) velocity
+inline constexpr int kVelz = 3;  ///< z velocity (zero in 2-d)
+inline constexpr int kPres = 4;  ///< pressure [erg/cm^3]
+inline constexpr int kEner = 5;  ///< specific total energy [erg/g]
+inline constexpr int kEint = 6;  ///< specific internal energy [erg/g]
+inline constexpr int kTemp = 7;  ///< temperature [K]
+inline constexpr int kGamc = 8;  ///< Gamma1 (adiabatic sound-speed index)
+inline constexpr int kGame = 9;  ///< "energy gamma": P/(rho eint) + 1
+inline constexpr int kFirstScalar = 10;  ///< first advected mass scalar
+}  // namespace var
+
+/// Everything needed to size and interpret the mesh.
+struct MeshConfig {
+  int ndim = 2;               ///< 2 or 3
+  int nxb = 16, nyb = 16, nzb = 1;  ///< interior zones per block per axis
+  int nguard = 4;             ///< guard cells per side (FLASH default: 4)
+  int nscalars = 0;           ///< advected mass scalars after the hydro set
+  int maxblocks = 512;        ///< capacity of the unk container
+  int max_level = 4;          ///< finest refinement level allowed (1-based)
+
+  std::array<double, 3> lo{0.0, 0.0, 0.0};  ///< domain lower corner
+  std::array<double, 3> hi{1.0, 1.0, 1.0};  ///< domain upper corner
+  std::array<int, 3> nroot{1, 1, 1};        ///< root blocks per axis
+
+  Geometry geometry = Geometry::kCartesian;
+  /// [axis][side]: boundary conditions (side 0 = low, 1 = high).
+  std::array<std::array<Bc, 2>, 3> bc{{{Bc::kOutflow, Bc::kOutflow},
+                                       {Bc::kOutflow, Bc::kOutflow},
+                                       {Bc::kOutflow, Bc::kOutflow}}};
+
+  [[nodiscard]] int nvar() const noexcept {
+    return var::kFirstScalar + nscalars;
+  }
+  /// Zones per axis including guards.
+  [[nodiscard]] int ni() const noexcept { return nxb + 2 * nguard; }
+  [[nodiscard]] int nj() const noexcept {
+    return ndim >= 2 ? nyb + 2 * nguard : 1;
+  }
+  [[nodiscard]] int nk() const noexcept {
+    return ndim >= 3 ? nzb + 2 * nguard : 1;
+  }
+  /// Interior index range along an axis (inclusive lo, exclusive hi).
+  [[nodiscard]] int ilo() const noexcept { return nguard; }
+  [[nodiscard]] int ihi() const noexcept { return nguard + nxb; }
+  [[nodiscard]] int jlo() const noexcept { return ndim >= 2 ? nguard : 0; }
+  [[nodiscard]] int jhi() const noexcept {
+    return ndim >= 2 ? nguard + nyb : 1;
+  }
+  [[nodiscard]] int klo() const noexcept { return ndim >= 3 ? nguard : 0; }
+  [[nodiscard]] int khi() const noexcept {
+    return ndim >= 3 ? nguard + nzb : 1;
+  }
+
+  /// Children per block when refining.
+  [[nodiscard]] int nchildren() const noexcept { return 1 << ndim; }
+
+  /// Validate invariants; throws fhp::ConfigError.
+  void validate() const {
+    FHP_REQUIRE(ndim == 2 || ndim == 3, "ndim must be 2 or 3");
+    FHP_REQUIRE(nxb > 0 && nyb > 0 && nzb > 0, "block shape must be positive");
+    FHP_REQUIRE(ndim >= 3 || nzb == 1, "2-d meshes require nzb == 1");
+    FHP_REQUIRE(nguard >= 2, "hydro needs at least 2 guard cells");
+    FHP_REQUIRE(nxb % 2 == 0 && nyb % 2 == 0 && (ndim < 3 || nzb % 2 == 0),
+                "block zones must be even (restriction pairs cells)");
+    FHP_REQUIRE(nscalars >= 0, "nscalars must be >= 0");
+    FHP_REQUIRE(maxblocks > 0, "maxblocks must be positive");
+    FHP_REQUIRE(max_level >= 1, "max_level must be >= 1");
+    FHP_REQUIRE(geometry != Geometry::kCylindrical || ndim == 2,
+                "cylindrical geometry is 2-d (r, z)");
+    for (std::size_t d = 0; d < 3; ++d) {
+      FHP_REQUIRE(hi[d] > lo[d], "domain bounds inverted");
+      FHP_REQUIRE(nroot[d] > 0, "need at least one root block per axis");
+    }
+    const bool px = bc[0][0] == Bc::kPeriodic;
+    const bool px2 = bc[0][1] == Bc::kPeriodic;
+    FHP_REQUIRE(px == px2, "periodic x boundaries must pair");
+    FHP_REQUIRE((bc[1][0] == Bc::kPeriodic) == (bc[1][1] == Bc::kPeriodic),
+                "periodic y boundaries must pair");
+    FHP_REQUIRE((bc[2][0] == Bc::kPeriodic) == (bc[2][1] == Bc::kPeriodic),
+                "periodic z boundaries must pair");
+  }
+};
+
+}  // namespace fhp::mesh

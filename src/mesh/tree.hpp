@@ -1,0 +1,107 @@
+/// \file tree.hpp
+/// \brief The block tree: PARAMESH's quadtree/octree bookkeeping.
+///
+/// Blocks carry a 1-based refinement level and integer coordinates within
+/// the level's logical grid (nroot * 2^(level-1) blocks per axis). A hash
+/// map from (level, coords) to block id supports neighbor queries; the
+/// free-list allocator bounds live blocks by maxblocks, like PARAMESH.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/config.hpp"
+
+namespace fhp::mesh {
+
+/// Per-block metadata (PARAMESH's tree arrays, gathered into a struct).
+struct BlockInfo {
+  int parent = -1;
+  std::array<int, 8> children{-1, -1, -1, -1, -1, -1, -1, -1};
+  int level = 1;                        ///< 1-based
+  std::array<std::int32_t, 3> coord{};  ///< block coords within the level
+  bool is_leaf = true;
+  bool in_use = false;
+};
+
+/// Result of a same-level neighbor query.
+struct NeighborQuery {
+  int id = -1;               ///< block id, or -1
+  bool outside_domain = false;  ///< stepped across a non-periodic boundary
+};
+
+/// The tree. Owns no solution data — ids index into UnkContainer slots.
+class BlockTree {
+ public:
+  explicit BlockTree(const MeshConfig& config);
+
+  /// Create the level-1 root grid (nroot blocks per axis). Must be called
+  /// exactly once.
+  void create_roots();
+
+  [[nodiscard]] const MeshConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const BlockInfo& info(int id) const { return blocks_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int capacity() const noexcept {
+    return static_cast<int>(blocks_.size());
+  }
+  [[nodiscard]] int num_allocated() const noexcept { return allocated_; }
+
+  /// All leaf ids in Morton (space-filling) order, PARAMESH-style.
+  [[nodiscard]] std::vector<int> leaves_morton() const;
+
+  /// All allocated block ids at \p level.
+  [[nodiscard]] std::vector<int> blocks_at_level(int level) const;
+
+  /// Finest level with any allocated block.
+  [[nodiscard]] int finest_level() const noexcept;
+
+  /// Block id at (level, coords), or -1.
+  [[nodiscard]] int find(int level,
+                         const std::array<std::int32_t, 3>& coord) const;
+
+  /// Same-level neighbor of \p id offset by step (each component in
+  /// {-1,0,1}); applies periodic wrapping. id == -1 with
+  /// outside_domain == false means "no block at this level here"
+  /// (the region is covered coarser or finer).
+  [[nodiscard]] NeighborQuery neighbor(int id,
+                                       const std::array<int, 3>& step) const;
+
+  /// Logical block extent of \p level along \p axis.
+  [[nodiscard]] std::int32_t level_extent(int level, int axis) const noexcept {
+    return config_.nroot[static_cast<std::size_t>(axis)]
+           << (level - 1);
+  }
+
+  /// Physical bounds of a block.
+  [[nodiscard]] std::array<double, 3> block_lo(int id) const;
+  [[nodiscard]] std::array<double, 3> block_hi(int id) const;
+  /// Cell width of \p level along \p axis.
+  [[nodiscard]] double cell_size(int level, int axis) const noexcept;
+
+  /// Split a leaf into 2^ndim children; returns the child ids (in z-curve
+  /// order: x fastest). Throws fhp::SystemError if maxblocks is exhausted
+  /// (PARAMESH aborts here too).
+  std::array<int, 8> refine(int id);
+
+  /// Remove the (leaf) children of \p id, making it a leaf again.
+  void derefine(int id);
+
+  /// True if every leaf's neighbors are within one level (2:1 balance).
+  [[nodiscard]] bool is_balanced() const;
+
+ private:
+  [[nodiscard]] std::uint64_t key(int level,
+                                  const std::array<std::int32_t, 3>& c) const;
+  int allocate_slot();
+
+  MeshConfig config_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<int> free_list_;
+  std::unordered_map<std::uint64_t, int> index_;
+  int allocated_ = 0;
+};
+
+}  // namespace fhp::mesh

@@ -1,0 +1,143 @@
+/// \file unk.hpp
+/// \brief The `unk` container: FLASH's principal mesh data array.
+///
+/// PARAMESH stores solution data as
+///
+///   unk(nvar, il_bnd:iu_bnd, jl_bnd:ju_bnd, kl_bnd:ku_bnd, maxblocks)
+///
+/// in Fortran column-major order: the *variable* index is the fastest
+/// axis and the block index the slowest. Reading one variable across a
+/// block therefore strides by nvar doubles between zones — the memory
+/// pattern the paper identifies as the motivation for huge pages
+/// ("there is a stride in memory for addressing variables in different
+/// zones or blocks"). UnkContainer reproduces this layout exactly and
+/// lives on a MappedRegion under the experiment's HugePolicy.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/allocator.hpp"
+#include "mem/huge_policy.hpp"
+#include "mesh/config.hpp"
+#include "tlb/trace.hpp"
+
+namespace fhp::mesh {
+
+/// The solution array. Indices: (var, i, j, k, block), var fastest.
+class UnkContainer {
+ public:
+  UnkContainer(const MeshConfig& config, mem::HugePolicy policy)
+      : nvar_(config.nvar()),
+        ni_(config.ni()),
+        nj_(config.nj()),
+        nk_(config.nk()),
+        maxblocks_(config.maxblocks),
+        block_stride_(static_cast<std::size_t>(nvar_) * ni_ * nj_ * nk_),
+        data_(block_stride_ * static_cast<std::size_t>(maxblocks_), policy) {}
+
+  /// Flat offset of (v, i, j, k, b) — Fortran order, v fastest.
+  [[nodiscard]] std::size_t offset(int v, int i, int j, int k,
+                                   int b) const noexcept {
+    return static_cast<std::size_t>(v) +
+           static_cast<std::size_t>(nvar_) *
+               (static_cast<std::size_t>(i) +
+                static_cast<std::size_t>(ni_) *
+                    (static_cast<std::size_t>(j) +
+                     static_cast<std::size_t>(nj_) *
+                         (static_cast<std::size_t>(k) +
+                          static_cast<std::size_t>(nk_) *
+                              static_cast<std::size_t>(b))));
+  }
+
+  [[nodiscard]] double& at(int v, int i, int j, int k, int b) noexcept {
+    return data_[offset(v, i, j, k, b)];
+  }
+  [[nodiscard]] double at(int v, int i, int j, int k, int b) const noexcept {
+    return data_[offset(v, i, j, k, b)];
+  }
+  [[nodiscard]] const double* ptr(int v, int i, int j, int k,
+                                  int b) const noexcept {
+    return data_.data() + offset(v, i, j, k, b);
+  }
+
+  [[nodiscard]] int nvar() const noexcept { return nvar_; }
+  [[nodiscard]] int ni() const noexcept { return ni_; }
+  [[nodiscard]] int nj() const noexcept { return nj_; }
+  [[nodiscard]] int nk() const noexcept { return nk_; }
+  [[nodiscard]] int maxblocks() const noexcept { return maxblocks_; }
+  [[nodiscard]] std::size_t block_stride() const noexcept {
+    return block_stride_;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+
+  /// Backing region (for huge-page verification and tracing).
+  [[nodiscard]] const mem::MappedRegion& region() const noexcept {
+    return data_.region();
+  }
+
+  /// Cache the effective translation page size (scans smaps once); call
+  /// after the container is resident, before tracing.
+  void refresh_page_shift() {
+    page_shift_ = tlb::effective_page_shift(region());
+  }
+  [[nodiscard]] std::uint8_t page_shift() const noexcept { return page_shift_; }
+
+  /// Replay the address stream of a kernel sweep over block \p b that
+  /// reads \p nread variables and writes \p nwrite variables zone by zone
+  /// in the interior range [ilo,ihi) x [jlo,jhi) x [klo,khi), touching the
+  /// variables contiguously at each zone (FLASH kernels read unk(:, i, j,
+  /// k) vectors). This is the canonical strided pattern of the paper.
+  void trace_sweep(tlb::Tracer& tracer, int b, int ilo, int ihi, int jlo,
+                   int jhi, int klo, int khi, int nread, int nwrite) const {
+    trace_sweep_axis(tracer, b, 0, ilo, ihi, jlo, jhi, klo, khi, nread,
+                     nwrite);
+  }
+
+  /// Like trace_sweep, but visits zones in *pencil order along \p axis* —
+  /// the order the dimensionally split hydro gathers its pencils. For
+  /// axis 1 (y) consecutive zones are nvar*ni doubles apart and for
+  /// axis 2 (z) nvar*ni*nj doubles apart: a 3-d pencil touches a fresh
+  /// 4 KiB page on nearly every zone, which is the stride pattern the
+  /// paper blames for FLASH's DTLB behaviour.
+  void trace_sweep_axis(tlb::Tracer& tracer, int b, int axis, int ilo,
+                        int ihi, int jlo, int jhi, int klo, int khi,
+                        int nread, int nwrite) const {
+    if (!tracer.enabled()) return;
+    const int lo[3] = {ilo, jlo, klo};
+    const int hi[3] = {ihi, jhi, khi};
+    // outer/mid/inner loop axes; `axis` is innermost (the pencil).
+    const int inner = axis;
+    const int mid = axis == 0 ? 1 : 0;
+    const int outer = axis == 2 ? 1 : 2;
+    int idx[3];
+    for (idx[outer] = lo[outer]; idx[outer] < hi[outer]; ++idx[outer]) {
+      for (idx[mid] = lo[mid]; idx[mid] < hi[mid]; ++idx[mid]) {
+        for (idx[inner] = lo[inner]; idx[inner] < hi[inner]; ++idx[inner]) {
+          const double* zone = ptr(0, idx[0], idx[1], idx[2], b);
+          if (nread > 0) {
+            tracer.touch(zone,
+                         sizeof(double) * static_cast<std::size_t>(nread),
+                         false, page_shift_);
+          }
+          if (nwrite > 0) {
+            tracer.touch(zone,
+                         sizeof(double) * static_cast<std::size_t>(nwrite),
+                         true, page_shift_);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  int nvar_, ni_, nj_, nk_, maxblocks_;
+  std::size_t block_stride_;
+  mem::HugeBuffer<double> data_;
+  std::uint8_t page_shift_ = 12;
+};
+
+}  // namespace fhp::mesh

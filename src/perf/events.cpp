@@ -1,0 +1,62 @@
+#include "perf/events.hpp"
+
+namespace fhp::perf {
+
+std::string_view event_name(Event e) noexcept {
+  switch (e) {
+    case Event::kCycles: return "PAPI_TOT_CYC";
+    case Event::kInstructions: return "PAPI_TOT_INS";
+    case Event::kVectorOps: return "PAPI_VEC_INS";
+    case Event::kDtlbMisses: return "PAPI_TLB_DM";
+    case Event::kTlbWalkCycles: return "TLB_WALK_CYC";
+    case Event::kBytesRead: return "MEM_BYTES_RD";
+    case Event::kBytesWritten: return "MEM_BYTES_WR";
+    case Event::kL1Misses: return "PAPI_L1_DCM";
+    case Event::kL2Misses: return "PAPI_L2_DCM";
+    case Event::kWallNanos: return "WALL_NS";
+  }
+  return "UNKNOWN";
+}
+
+MeasureSet derive_measures(const CounterSet& delta, double clock_hz) noexcept {
+  MeasureSet m;
+  const auto cycles = static_cast<double>(delta[Event::kCycles]);
+  m.hardware_cycles = cycles;
+  m.time_seconds = clock_hz > 0 ? cycles / clock_hz : 0.0;
+  m.vector_per_cycle =
+      cycles > 0 ? static_cast<double>(delta[Event::kVectorOps]) / cycles : 0.0;
+  const double bytes = static_cast<double>(delta[Event::kBytesRead]) +
+                       static_cast<double>(delta[Event::kBytesWritten]);
+  m.memory_gbytes_per_s =
+      m.time_seconds > 0 ? bytes / 1.0e9 / m.time_seconds : 0.0;
+  m.dtlb_misses_per_s =
+      m.time_seconds > 0
+          ? static_cast<double>(delta[Event::kDtlbMisses]) / m.time_seconds
+          : 0.0;
+  return m;
+}
+
+namespace {
+double safe_ratio(double num, double den) noexcept {
+  return den != 0.0 ? num / den : 0.0;
+}
+}  // namespace
+
+MeasureRatios ratios(const MeasureSet& with_hp, double with_hp_flash_timer,
+                     const MeasureSet& without_hp,
+                     double without_hp_flash_timer) noexcept {
+  MeasureRatios r;
+  r.hardware_cycles =
+      safe_ratio(with_hp.hardware_cycles, without_hp.hardware_cycles);
+  r.time_seconds = safe_ratio(with_hp.time_seconds, without_hp.time_seconds);
+  r.vector_per_cycle =
+      safe_ratio(with_hp.vector_per_cycle, without_hp.vector_per_cycle);
+  r.memory_gbytes_per_s =
+      safe_ratio(with_hp.memory_gbytes_per_s, without_hp.memory_gbytes_per_s);
+  r.dtlb_misses_per_s =
+      safe_ratio(with_hp.dtlb_misses_per_s, without_hp.dtlb_misses_per_s);
+  r.flash_timer = safe_ratio(with_hp_flash_timer, without_hp_flash_timer);
+  return r;
+}
+
+}  // namespace fhp::perf

@@ -1,0 +1,98 @@
+/// \file events.hpp
+/// \brief Performance event identifiers and counter sets.
+///
+/// The paper instruments FLASH with a PAPI event subset that "can
+/// characterize overall performance — use of SVE measured as SVE
+/// instructions per cycle, memory bandwidth, DTLB misses, and the number of
+/// hardware cycles". We model the same set. Counter values flow from one
+/// of several backends (software model, perf_event, wall clock) into
+/// CounterSet snapshots; RegionStats accumulates deltas per code region.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace fhp::perf {
+
+/// The events flashhp counts. kWallNanos is always captured; hardware-ish
+/// events come from the software machine model and/or perf_event.
+enum class Event : std::uint8_t {
+  kCycles = 0,      ///< modeled/HW CPU cycles (PAPI_TOT_CYC analog)
+  kInstructions,    ///< retired instructions (PAPI_TOT_INS analog)
+  kVectorOps,       ///< SVE-class vector instructions (paper's SVE measure)
+  kDtlbMisses,      ///< DTLB misses requiring a page-table walk
+  kTlbWalkCycles,   ///< cycles spent in page-table walks (model detail)
+  kBytesRead,       ///< bytes moved from memory (for the GB/s measure)
+  kBytesWritten,    ///< bytes moved to memory
+  kL1Misses,        ///< L1D misses (model detail)
+  kL2Misses,        ///< L2 misses = memory traffic events
+  kWallNanos,       ///< wall-clock nanoseconds
+};
+
+inline constexpr std::size_t kNumEvents = 10;
+
+/// PAPI-flavoured names, for reports ("PAPI_TOT_CYC", ...).
+[[nodiscard]] std::string_view event_name(Event e) noexcept;
+
+/// A value for every event. Plain aggregate; supports snapshot arithmetic.
+struct CounterSet {
+  std::array<std::uint64_t, kNumEvents> values{};
+
+  [[nodiscard]] std::uint64_t operator[](Event e) const noexcept {
+    return values[static_cast<std::size_t>(e)];
+  }
+  std::uint64_t& operator[](Event e) noexcept {
+    return values[static_cast<std::size_t>(e)];
+  }
+
+  /// Element-wise this - earlier (wraps are the caller's problem; our
+  /// sources are 64-bit and monotonic).
+  [[nodiscard]] CounterSet since(const CounterSet& earlier) const noexcept {
+    CounterSet d;
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      d.values[i] = values[i] - earlier.values[i];
+    }
+    return d;
+  }
+
+  CounterSet& operator+=(const CounterSet& other) noexcept {
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      values[i] += other.values[i];
+    }
+    return *this;
+  }
+};
+
+/// The five measures of the paper's Tables I/II (plus the FLASH timer,
+/// which is reported separately by the driver).
+struct MeasureSet {
+  double hardware_cycles = 0;      ///< "Hardware (cycles)"
+  double time_seconds = 0;         ///< "Time (s)" = cycles / clock_hz
+  double vector_per_cycle = 0;     ///< "SVE Instructions/cycle"
+  double memory_gbytes_per_s = 0;  ///< "Memory (Gbytes/s)"
+  double dtlb_misses_per_s = 0;    ///< "DTLB misses (1/s)"
+};
+
+/// Derive the paper's measures from a counter delta.
+/// \param clock_hz the modeled core frequency (Ookami A64FX: 1.8 GHz).
+[[nodiscard]] MeasureSet derive_measures(const CounterSet& delta,
+                                         double clock_hz) noexcept;
+
+/// Ratio of each measure (with/without), Figure 1 style.
+struct MeasureRatios {
+  double hardware_cycles = 0;
+  double time_seconds = 0;
+  double vector_per_cycle = 0;
+  double memory_gbytes_per_s = 0;
+  double dtlb_misses_per_s = 0;
+  double flash_timer = 0;
+};
+
+[[nodiscard]] MeasureRatios ratios(const MeasureSet& with_hp,
+                                   double with_hp_flash_timer,
+                                   const MeasureSet& without_hp,
+                                   double without_hp_flash_timer) noexcept;
+
+}  // namespace fhp::perf

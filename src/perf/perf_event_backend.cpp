@@ -1,0 +1,74 @@
+#include "perf/perf_event_backend.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+namespace fhp::perf {
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      perf_event_open(&attr, 0 /*self*/, -1 /*any cpu*/, group_fd, 0));
+}
+
+std::uint64_t read_counter(int fd) noexcept {
+  if (fd < 0) return 0;
+  std::uint64_t value = 0;
+  if (::read(fd, &value, sizeof value) != sizeof value) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfEventBackend::PerfEventBackend() {
+  cycles_fd_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (cycles_fd_ < 0) return;  // no PMU access at all
+  instructions_fd_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, cycles_fd_);
+  const std::uint64_t dtlb_read_miss =
+      PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+      (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+  dtlb_fd_ = open_counter(PERF_TYPE_HW_CACHE, dtlb_read_miss, cycles_fd_);
+}
+
+PerfEventBackend::~PerfEventBackend() {
+  for (int fd : {cycles_fd_, instructions_fd_, dtlb_fd_}) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+CounterSet PerfEventBackend::read() const noexcept {
+  CounterSet s;
+  s[Event::kCycles] = read_counter(cycles_fd_);
+  s[Event::kInstructions] = read_counter(instructions_fd_);
+  s[Event::kDtlbMisses] = read_counter(dtlb_fd_);
+  return s;
+}
+
+std::optional<int> PerfEventBackend::paranoid_level() {
+  std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
+  int level = 0;
+  if (in >> level) return level;
+  return std::nullopt;
+}
+
+}  // namespace fhp::perf

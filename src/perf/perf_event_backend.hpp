@@ -1,0 +1,48 @@
+/// \file perf_event_backend.hpp
+/// \brief Real hardware counters via perf_event_open, with graceful probing.
+///
+/// On the paper's system PAPI read the A64FX PMU. Here we read the host
+/// PMU through perf_event_open when the kernel permits
+/// (perf_event_paranoid; the paper's admins set it to 1 in
+/// /etc/sysctl.d/98fujitsucompilersettings.conf). In containers the
+/// syscall is often denied — available() reports that, and callers fall
+/// back to the software model. Events mapped: CPU cycles, instructions,
+/// dTLB read misses.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "perf/events.hpp"
+
+namespace fhp::perf {
+
+/// Counting group of hardware events for the calling thread.
+class PerfEventBackend {
+ public:
+  /// Probes the syscall; a failed probe leaves the backend unavailable
+  /// (never throws for permission problems).
+  PerfEventBackend();
+  ~PerfEventBackend();
+  PerfEventBackend(const PerfEventBackend&) = delete;
+  PerfEventBackend& operator=(const PerfEventBackend&) = delete;
+
+  /// True if at least the cycle counter opened successfully.
+  [[nodiscard]] bool available() const noexcept { return cycles_fd_ >= 0; }
+
+  /// Read current totals into the hardware slots of a CounterSet
+  /// (kCycles, kInstructions, kDtlbMisses). Unavailable events stay 0.
+  [[nodiscard]] CounterSet read() const noexcept;
+
+  /// Value of /proc/sys/kernel/perf_event_paranoid, if readable.
+  [[nodiscard]] static std::optional<int> paranoid_level();
+
+ private:
+  int cycles_fd_ = -1;
+  int instructions_fd_ = -1;
+  int dtlb_fd_ = -1;
+};
+
+}  // namespace fhp::perf

@@ -1,0 +1,85 @@
+/// \file region.hpp
+/// \brief RAII instrumented regions — the paper's Fortran PAPI object.
+///
+/// The paper instruments FLASH with "a Fortran object to interface with
+/// the PAPI routines": construction starts the counters, finalization
+/// stops them, and a module stores an identifier for the instrumented
+/// region. (Their finalizer broke under the Fujitsu compiler — §II — and
+/// they fell back to hard-coded calls; C++ destructors make the RAII form
+/// reliable.) PerfRegion is that object: it snapshots the software
+/// counters (and optionally the hardware PMU) on entry, and accumulates
+/// the delta into a named slot of the RegionRegistry on exit.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/events.hpp"
+#include "perf/soft_counters.hpp"
+
+namespace fhp::perf {
+
+/// Accumulated statistics for one named region.
+struct RegionStats {
+  CounterSet totals;           ///< summed deltas from the software counters
+  CounterSet hw_totals;        ///< summed deltas from perf_event (if open)
+  std::uint64_t entries = 0;   ///< number of times the region ran
+  bool hw_valid = false;       ///< hw_totals has real data
+};
+
+/// Process-wide registry of instrumented regions.
+class RegionRegistry {
+ public:
+  static RegionRegistry& instance();
+
+  /// Merge a delta into \p name.
+  void accumulate(std::string_view name, const CounterSet& delta,
+                  const CounterSet* hw_delta);
+
+  /// Stats for one region (zeros if never entered).
+  [[nodiscard]] RegionStats get(std::string_view name) const;
+
+  /// All region names with data, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Clear everything (between experiment arms).
+  void reset();
+
+ private:
+  RegionRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, RegionStats, std::less<>> stats_;
+};
+
+/// RAII region: counts everything between construction and destruction
+/// against \p name. Cheap: two counter snapshots and a clock read.
+class PerfRegion {
+ public:
+  explicit PerfRegion(std::string_view name);
+  ~PerfRegion();
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+
+  /// Stop early (idempotent; the destructor then does nothing).
+  void stop();
+
+ private:
+  std::string name_;
+  CounterSet start_;
+  std::chrono::steady_clock::time_point wall_start_;
+  bool active_ = true;
+};
+
+/// Enable/disable hardware (perf_event) capture for subsequently created
+/// PerfRegions. Off by default; turning it on probes the PMU once and
+/// silently stays off if the kernel denies access.
+void set_hardware_capture(bool enabled);
+[[nodiscard]] bool hardware_capture_active();
+
+}  // namespace fhp::perf

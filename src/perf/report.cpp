@@ -1,0 +1,46 @@
+#include "perf/report.hpp"
+
+#include <ostream>
+
+#include "support/table_writer.hpp"
+
+namespace fhp::perf {
+
+RegionReport::RegionReport(double clock_hz, const RegionRegistry& registry)
+    : clock_hz_(clock_hz) {
+  for (const std::string& name : registry.names()) {
+    const RegionStats stats = registry.get(name);
+    RegionMeasures rm;
+    rm.name = name;
+    rm.entries = stats.entries;
+    rm.measures = derive_measures(stats.totals, clock_hz_);
+    rm.wall_seconds =
+        static_cast<double>(stats.totals[Event::kWallNanos]) * 1e-9;
+    regions_.push_back(std::move(rm));
+  }
+}
+
+RegionMeasures RegionReport::get(std::string_view name) const {
+  for (const RegionMeasures& rm : regions_) {
+    if (rm.name == name) return rm;
+  }
+  return {};
+}
+
+void RegionReport::render(std::ostream& os) const {
+  TableWriter t("instrumented regions (modeled measures)");
+  t.set_header({"Region", "Entries", "Cycles", "Time (s)", "Vec/cycle",
+                "GB/s", "DTLB/s", "Wall (s)"});
+  for (const RegionMeasures& rm : regions_) {
+    t.add_row({rm.name, std::to_string(rm.entries),
+               format_measure(rm.measures.hardware_cycles),
+               format_measure(rm.measures.time_seconds),
+               format_ratio(rm.measures.vector_per_cycle),
+               format_measure(rm.measures.memory_gbytes_per_s),
+               format_measure(rm.measures.dtlb_misses_per_s),
+               format_measure(rm.wall_seconds)});
+  }
+  t.render(os);
+}
+
+}  // namespace fhp::perf

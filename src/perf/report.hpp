@@ -1,0 +1,52 @@
+/// \file report.hpp
+/// \brief Render instrumented-region statistics as the paper's measures.
+///
+/// After a run, the RegionRegistry holds counter totals per named region
+/// ("eos", "hydro", "flame", "grid"). RegionReport derives the five PAPI
+/// measures of the paper for each and renders a summary table — the
+/// in-library equivalent of the authors' post-processing that produced
+/// Tables I and II.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/events.hpp"
+#include "perf/region.hpp"
+
+namespace fhp::perf {
+
+/// One region's derived measures.
+struct RegionMeasures {
+  std::string name;
+  std::uint64_t entries = 0;
+  MeasureSet measures;
+  double wall_seconds = 0;  ///< accumulated host wall clock in the region
+};
+
+/// Snapshot of every region currently in the registry.
+class RegionReport {
+ public:
+  /// \param clock_hz modeled clock for the cycles -> seconds conversion.
+  explicit RegionReport(double clock_hz = 1.8e9,
+                        const RegionRegistry& registry =
+                            RegionRegistry::instance());
+
+  [[nodiscard]] const std::vector<RegionMeasures>& regions() const noexcept {
+    return regions_;
+  }
+
+  /// Measures for one region; zeros if absent.
+  [[nodiscard]] RegionMeasures get(std::string_view name) const;
+
+  /// Render an aligned table (one row per region, the paper's columns).
+  void render(std::ostream& os) const;
+
+ private:
+  double clock_hz_;
+  std::vector<RegionMeasures> regions_;
+};
+
+}  // namespace fhp::perf

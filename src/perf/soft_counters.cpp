@@ -1,0 +1,10 @@
+#include "perf/soft_counters.hpp"
+
+namespace fhp::perf {
+
+SoftCounters& SoftCounters::instance() noexcept {
+  static SoftCounters counters;
+  return counters;
+}
+
+}  // namespace fhp::perf

@@ -1,0 +1,55 @@
+/// \file soft_counters.hpp
+/// \brief Process-wide software counters fed by the machine model.
+///
+/// The TLB/cache/core model (src/tlb) — and any other instrumented code —
+/// bumps these counters; PerfRegion snapshots them. This decouples perf
+/// (the PAPI-like API) from tlb (one producer of numbers), the same way
+/// PAPI decouples the API from the PMU.
+///
+/// Counters are plain (non-atomic) per the library's single-threaded
+/// kernel execution model; an explicit mutex-free design keeps the
+/// increment on the simulation hot path to one add.
+
+#pragma once
+
+#include <cstdint>
+
+#include "perf/events.hpp"
+
+namespace fhp::perf {
+
+/// The process-wide counter block.
+class SoftCounters {
+ public:
+  static SoftCounters& instance() noexcept;
+
+  /// Add \p amount to \p event.
+  void add(Event event, std::uint64_t amount) noexcept {
+    counters_[static_cast<std::size_t>(event)] += amount;
+  }
+
+  /// Bulk add (one call per traced basic block from the machine model).
+  void add_all(const CounterSet& delta) noexcept {
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      counters_[i] += delta.values[i];
+    }
+  }
+
+  /// Snapshot current totals (wall clock filled in by the caller/backend).
+  [[nodiscard]] CounterSet snapshot() const noexcept {
+    CounterSet s;
+    for (std::size_t i = 0; i < kNumEvents; ++i) s.values[i] = counters_[i];
+    return s;
+  }
+
+  /// Zero all counters (tests and between-experiment hygiene).
+  void reset() noexcept {
+    for (auto& c : counters_) c = 0;
+  }
+
+ private:
+  SoftCounters() = default;
+  std::uint64_t counters_[kNumEvents] = {};
+};
+
+}  // namespace fhp::perf

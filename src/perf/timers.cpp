@@ -1,0 +1,120 @@
+#include "perf/timers.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace fhp::perf {
+
+using Clock = std::chrono::steady_clock;
+
+struct Timers::Node {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  Clock::time_point started;
+  bool running = false;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+Timers::Timers() : root_(std::make_unique<Node>()), epoch_(Clock::now()) {
+  root_->name = "<root>";
+  stack_.push_back(root_.get());
+}
+
+Timers::~Timers() = default;
+
+Timers::Node* Timers::find_or_create_child(Node& parent,
+                                           std::string_view name) {
+  for (const auto& child : parent.children) {
+    if (child->name == name) return child.get();
+  }
+  auto node = std::make_unique<Node>();
+  node->name = std::string(name);
+  Node* raw = node.get();
+  parent.children.push_back(std::move(node));
+  return raw;
+}
+
+void Timers::start(std::string_view name) {
+  Node* node = find_or_create_child(*stack_.back(), name);
+  FHP_REQUIRE(!node->running,
+              "timer '" + std::string(name) + "' started while running");
+  node->running = true;
+  node->started = Clock::now();
+  stack_.push_back(node);
+}
+
+void Timers::stop(std::string_view name) {
+  FHP_REQUIRE(stack_.size() > 1, "Timers::stop with no running timer");
+  Node* node = stack_.back();
+  FHP_REQUIRE(node->name == name,
+              "Timers::stop('" + std::string(name) + "') but innermost is '" +
+                  node->name + "'");
+  node->seconds +=
+      std::chrono::duration<double>(Clock::now() - node->started).count();
+  node->calls += 1;
+  node->running = false;
+  stack_.pop_back();
+}
+
+double Timers::seconds(std::string_view name) const {
+  double total = 0.0;
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    if (node.name == name) total += node.seconds;
+    for (const auto& child : node.children) walk(*child);
+  };
+  walk(*root_);
+  return total;
+}
+
+std::uint64_t Timers::calls(std::string_view name) const {
+  std::uint64_t total = 0;
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    if (node.name == name) total += node.calls;
+    for (const auto& child : node.children) walk(*child);
+  };
+  walk(*root_);
+  return total;
+}
+
+double Timers::elapsed() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+void Timers::summary(std::ostream& os) const {
+  const double total = elapsed();
+  os << "accounting unit                     time (s)    calls     %total\n";
+  os << "----------------------------------------------------------------\n";
+  std::function<void(const Node&, int)> walk = [&](const Node& node,
+                                                   int depth) {
+    if (depth >= 0) {
+      char line[128];
+      std::string label(static_cast<size_t>(depth) * 2, ' ');
+      label += node.name;
+      if (label.size() > 32) label.resize(32);
+      std::snprintf(line, sizeof line, "%-32s %10.3f %8llu %9.1f%%\n",
+                    label.c_str(), node.seconds,
+                    static_cast<unsigned long long>(node.calls),
+                    total > 0 ? 100.0 * node.seconds / total : 0.0);
+      os << line;
+    }
+    for (const auto& child : node.children) walk(*child, depth + 1);
+  };
+  walk(*root_, -1);
+  char line[64];
+  std::snprintf(line, sizeof line, "elapsed: %.3f s\n", total);
+  os << line;
+}
+
+void Timers::reset() {
+  root_ = std::make_unique<Node>();
+  root_->name = "<root>";
+  stack_.clear();
+  stack_.push_back(root_.get());
+  epoch_ = Clock::now();
+}
+
+}  // namespace fhp::perf

@@ -1,0 +1,80 @@
+/// \file timers.hpp
+/// \brief FLASH-style hierarchical wall-clock timers.
+///
+/// FLASH's Timers unit (Timers_start / Timers_stop / Timers_getSummary)
+/// records elapsed time per named, nested timer and prints an indented
+/// summary at the end of the run — the paper's "FLASH Timer (s)" rows come
+/// from it. This is a faithful C++ port: timers nest, a name used at two
+/// different stack depths is two nodes, and the summary shows
+/// seconds / calls / percent-of-parent.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhp::perf {
+
+/// Hierarchical timer collection. Not thread-safe (FLASH's isn't either);
+/// use one per driver.
+class Timers {
+ public:
+  Timers();
+  ~Timers();
+  Timers(const Timers&) = delete;
+  Timers& operator=(const Timers&) = delete;
+
+  /// Start a nested timer. Starting the same name twice without stopping
+  /// throws fhp::ConfigError (mirrors FLASH's misuse warning, strictly).
+  void start(std::string_view name);
+
+  /// Stop the innermost running timer; its name must match.
+  void stop(std::string_view name);
+
+  /// Total accumulated seconds for the *root-level* timer of this name
+  /// (sums all nodes with that name anywhere in the tree).
+  [[nodiscard]] double seconds(std::string_view name) const;
+
+  /// Number of start/stop cycles summed over nodes with this name.
+  [[nodiscard]] std::uint64_t calls(std::string_view name) const;
+
+  /// Seconds elapsed since construction (the "elapsed time for the
+  /// simulation" the paper reports).
+  [[nodiscard]] double elapsed() const;
+
+  /// Print the FLASH-like indented summary.
+  void summary(std::ostream& os) const;
+
+  /// Drop all timers and restart the elapsed clock.
+  void reset();
+
+  /// RAII helper: Timers::Scope t(timers, "hydro");
+  class Scope {
+   public:
+    Scope(Timers& timers, std::string_view name)
+        : timers_(timers), name_(name) {
+      timers_.start(name_);
+    }
+    ~Scope() { timers_.stop(name_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Timers& timers_;
+    std::string name_;
+  };
+
+ private:
+  struct Node;
+  Node* find_or_create_child(Node& parent, std::string_view name);
+  std::unique_ptr<Node> root_;
+  std::vector<Node*> stack_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace fhp::perf

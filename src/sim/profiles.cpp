@@ -1,0 +1,119 @@
+#include "sim/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace fhp::sim {
+
+RadialProfile::RadialProfile(const mesh::AmrMesh& mesh,
+                             std::array<double, 3> center, int nbins,
+                             std::vector<int> vars)
+    : nbins_(nbins), vars_(std::move(vars)) {
+  FHP_REQUIRE(nbins >= 2, "profile needs at least two bins");
+  const mesh::MeshConfig& c = mesh.config();
+
+  rmax_ = 0.0;
+  for (int corner = 0; corner < 8; ++corner) {
+    const double x = ((corner & 1) ? c.hi[0] : c.lo[0]) - center[0];
+    const double y = ((corner & 2) ? c.hi[1] : c.lo[1]) - center[1];
+    const double z =
+        c.ndim >= 3 ? ((corner & 4) ? c.hi[2] : c.lo[2]) - center[2] : 0.0;
+    rmax_ = std::max(rmax_, std::sqrt(x * x + y * y + z * z));
+  }
+
+  sums_.assign(vars_.size() * static_cast<std::size_t>(nbins_), 0.0);
+  volumes_.assign(static_cast<std::size_t>(nbins_), 0.0);
+
+  for (int b : mesh.tree().leaves_morton()) {
+    for (int k = c.klo(); k < c.khi(); ++k) {
+      for (int j = c.jlo(); j < c.jhi(); ++j) {
+        for (int i = c.ilo(); i < c.ihi(); ++i) {
+          const double x = mesh.xcenter(b, i) - center[0];
+          const double y = mesh.ycenter(b, j) - center[1];
+          const double z = mesh.zcenter(b, k) - center[2];
+          const double radius = std::sqrt(x * x + y * y + z * z);
+          const int bin = std::min(
+              nbins_ - 1, static_cast<int>(radius / rmax_ * nbins_));
+          const double vol = mesh.cell_volume(b, i, j, k);
+          volumes_[static_cast<std::size_t>(bin)] += vol;
+          for (std::size_t v = 0; v < vars_.size(); ++v) {
+            sums_[v * static_cast<std::size_t>(nbins_) +
+                  static_cast<std::size_t>(bin)] +=
+                vol * mesh.unk().at(vars_[v], i, j, k, b);
+          }
+        }
+      }
+    }
+  }
+}
+
+double RadialProfile::bin_radius(int bin) const {
+  return (bin + 0.5) * rmax_ / nbins_;
+}
+
+double RadialProfile::value(int var_slot, int bin) const {
+  const double vol = volumes_[static_cast<std::size_t>(bin)];
+  if (vol <= 0.0) return 0.0;
+  return sums_[static_cast<std::size_t>(var_slot) *
+                   static_cast<std::size_t>(nbins_) +
+               static_cast<std::size_t>(bin)] /
+         vol;
+}
+
+double RadialProfile::steepest_gradient_radius(int var_slot) const {
+  double best = 0.0, best_drop = 0.0;
+  for (int bin = 1; bin < nbins_; ++bin) {
+    // Outward drop between adjacent non-empty bins.
+    if (volumes_[static_cast<std::size_t>(bin)] <= 0.0 ||
+        volumes_[static_cast<std::size_t>(bin - 1)] <= 0.0) {
+      continue;
+    }
+    const double drop = value(var_slot, bin - 1) - value(var_slot, bin);
+    if (drop > best_drop) {
+      best_drop = drop;
+      best = 0.5 * (bin_radius(bin - 1) + bin_radius(bin));
+    }
+  }
+  return best;
+}
+
+double RadialProfile::peak_radius(int var_slot) const {
+  double best = 0.0, best_value = -1e300;
+  for (int bin = 0; bin < nbins_; ++bin) {
+    if (volumes_[static_cast<std::size_t>(bin)] <= 0.0) continue;
+    const double v = value(var_slot, bin);
+    if (v > best_value) {
+      best_value = v;
+      best = bin_radius(bin);
+    }
+  }
+  return best;
+}
+
+double RadialProfile::peak_value(int var_slot) const {
+  double best_value = -1e300;
+  for (int bin = 0; bin < nbins_; ++bin) {
+    if (volumes_[static_cast<std::size_t>(bin)] <= 0.0) continue;
+    best_value = std::max(best_value, value(var_slot, bin));
+  }
+  return best_value;
+}
+
+void RadialProfile::write_csv(std::ostream& os) const {
+  os << "radius";
+  for (std::size_t v = 0; v < vars_.size(); ++v) os << ",var" << vars_[v];
+  os << '\n';
+  for (int bin = 0; bin < nbins_; ++bin) {
+    if (volumes_[static_cast<std::size_t>(bin)] <= 0.0) continue;
+    os << bin_radius(bin);
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      os << ',' << value(static_cast<int>(v), bin);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace fhp::sim

@@ -1,0 +1,51 @@
+/// \file profiles.hpp
+/// \brief Radial profile extraction and CSV output for analysis.
+///
+/// FLASH writes checkpoints analyzed offline; for validation we only need
+/// spherically averaged profiles (Sedov shock location, white-dwarf
+/// structure) so this module bins leaf-cell data in spherical shells.
+
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "mesh/amr_mesh.hpp"
+
+namespace fhp::sim {
+
+/// A spherically averaged profile of selected variables.
+class RadialProfile {
+ public:
+  /// Bin every leaf cell of \p mesh into \p nbins shells around \p center,
+  /// volume-weighted, for each variable index in \p vars.
+  RadialProfile(const mesh::AmrMesh& mesh, std::array<double, 3> center,
+                int nbins, std::vector<int> vars);
+
+  [[nodiscard]] int nbins() const noexcept { return nbins_; }
+  [[nodiscard]] double bin_radius(int bin) const;
+  /// Volume-weighted mean of the v-th *requested* variable in a bin
+  /// (NaN-free: empty bins return 0).
+  [[nodiscard]] double value(int var_slot, int bin) const;
+
+  /// Radius of the steepest outward density drop — a robust shock-front
+  /// locator for blast waves (pass the slot of kDens in `vars`).
+  [[nodiscard]] double steepest_gradient_radius(int var_slot) const;
+
+  /// Radius of the maximum of a variable (e.g. peak density at the shell).
+  [[nodiscard]] double peak_radius(int var_slot) const;
+  [[nodiscard]] double peak_value(int var_slot) const;
+
+  /// Write "radius,var0,var1,..." CSV rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  int nbins_;
+  double rmax_;
+  std::vector<int> vars_;
+  std::vector<double> sums_;     ///< [var][bin] volume-weighted sums
+  std::vector<double> volumes_;  ///< [bin]
+};
+
+}  // namespace fhp::sim

@@ -1,0 +1,131 @@
+#include "sim/sedov_exact.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fhp::sim {
+
+namespace {
+
+/// Similarity state: v (velocity), w (density), P (pressure), all in the
+/// normalization u = Rdot v(xi), rho = rho0 w(xi), p = rho0 Rdot^2 P(xi).
+struct State3 {
+  double v, w, p;
+};
+
+/// Right-hand side of the self-similar Euler system d/dxi (see header).
+State3 rhs(double xi, const State3& y, double gamma, double a, int nu) {
+  const double d = y.v - xi;          // flow speed relative to the ray
+  const double c2 = gamma * y.p / y.w;  // similarity sound speed^2
+  const double denom = d * d - c2;
+
+  const double vp = (-a * y.v * d + 2.0 * a * c2 / gamma +
+                     c2 * (nu - 1) * y.v / xi) /
+                    denom;
+  const double wp = y.w * (-(nu - 1) * y.v / xi - vp) / d;
+  // Entropy equation: P'/P - gamma w'/w = -2a/d.
+  const double pp = y.p * (-2.0 * a / d + gamma * wp / y.w);
+  return {vp, wp, pp};
+}
+
+}  // namespace
+
+SedovExact::SedovExact(double gamma, int nu, int npoints)
+    : gamma_(gamma), nu_(nu) {
+  FHP_REQUIRE(gamma > 1.0, "Sedov solution needs gamma > 1");
+  FHP_REQUIRE(nu >= 1 && nu <= 3, "nu must be 1, 2 or 3");
+  FHP_REQUIRE(npoints >= 16, "too few profile points");
+
+  const double s = 2.0 / (nu + 2);
+  const double a = (s - 1.0) / s;
+
+  // Strong-shock Rankine-Hugoniot state at xi = 1.
+  State3 y{2.0 / (gamma + 1.0), (gamma + 1.0) / (gamma - 1.0),
+           2.0 / (gamma + 1.0)};
+
+  const double xi_min = 1e-5;
+  const int nsteps = 40000;
+  const double h = -(1.0 - xi_min) / nsteps;
+
+  xi_.reserve(static_cast<std::size_t>(npoints) + 1);
+  rho_.reserve(xi_.capacity());
+  u_.reserve(xi_.capacity());
+  p_.reserve(xi_.capacity());
+
+  double xi = 1.0;
+  double integral = 0.0;  // \int (w v^2/2 + P/(gamma-1)) xi^{nu-1} dxi
+  auto energy_density = [&](double x, const State3& st) {
+    return (0.5 * st.w * st.v * st.v + st.p / (gamma_ - 1.0)) *
+           std::pow(x, nu_ - 1);
+  };
+
+  const int store_every = nsteps / npoints;
+  xi_.push_back(xi);
+  rho_.push_back(y.w);
+  u_.push_back(y.v);
+  p_.push_back(y.p);
+
+  for (int n = 0; n < nsteps; ++n) {
+    const double e0 = energy_density(xi, y);
+    // Classic RK4.
+    const State3 k1 = rhs(xi, y, gamma_, a, nu_);
+    const State3 y2{y.v + 0.5 * h * k1.v, y.w + 0.5 * h * k1.w,
+                    y.p + 0.5 * h * k1.p};
+    const State3 k2 = rhs(xi + 0.5 * h, y2, gamma_, a, nu_);
+    const State3 y3{y.v + 0.5 * h * k2.v, y.w + 0.5 * h * k2.w,
+                    y.p + 0.5 * h * k2.p};
+    const State3 k3 = rhs(xi + 0.5 * h, y3, gamma_, a, nu_);
+    const State3 y4{y.v + h * k3.v, y.w + h * k3.w, y.p + h * k3.p};
+    const State3 k4 = rhs(xi + h, y4, gamma_, a, nu_);
+    y.v += h / 6.0 * (k1.v + 2 * k2.v + 2 * k3.v + k4.v);
+    y.w += h / 6.0 * (k1.w + 2 * k2.w + 2 * k3.w + k4.w);
+    y.p += h / 6.0 * (k1.p + 2 * k2.p + 2 * k3.p + k4.p);
+    y.w = std::max(y.w, 1e-300);  // w ~ xi^{3/(gamma-1)}: tiny, never zero
+    xi += h;
+
+    // Trapezoid on the (monotone, smooth) energy integrand; note h < 0 —
+    // accumulate the magnitude.
+    integral += 0.5 * (e0 + energy_density(xi, y)) * (-h);
+
+    if ((n + 1) % store_every == 0 || n == nsteps - 1) {
+      xi_.push_back(xi);
+      rho_.push_back(y.w);
+      u_.push_back(y.v);
+      p_.push_back(y.p);
+    }
+  }
+
+  const double surface = nu_ == 3 ? 4.0 * M_PI : (nu_ == 2 ? 2.0 * M_PI : 1.0);
+  alpha_ = s * s * surface * integral;
+  FHP_CHECK(alpha_ > 0.0 && std::isfinite(alpha_),
+            "Sedov similarity integration failed");
+}
+
+double SedovExact::shock_radius(double energy, double rho_ambient,
+                                double time) const {
+  return std::pow(energy * time * time / (alpha_ * rho_ambient),
+                  1.0 / (nu_ + 2));
+}
+
+std::array<double, 3> SedovExact::profile(double xi) const {
+  if (xi >= 1.0) return {1.0, 1.0, 1.0};
+  if (xi <= xi_.back()) {
+    return {rho_.back() / rho_.front(), u_.back() / u_.front(),
+            p_.back() / p_.front()};
+  }
+  // xi_ descends from 1; binary search the bracketing pair.
+  std::size_t lo = 0, hi = xi_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    (xi_[mid] >= xi ? lo : hi) = mid;
+  }
+  const double t = (xi_[lo] - xi) / (xi_[lo] - xi_[hi]);
+  auto lerp = [t](double va, double vb) { return (1 - t) * va + t * vb; };
+  return {lerp(rho_[lo], rho_[hi]) / rho_.front(),
+          lerp(u_[lo], u_[hi]) / u_.front(),
+          lerp(p_[lo], p_[hi]) / p_.front()};
+}
+
+}  // namespace fhp::sim

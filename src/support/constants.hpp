@@ -1,0 +1,33 @@
+/// \file constants.hpp
+/// \brief Physical constants in CGS units, as used throughout FLASH.
+///
+/// FLASH works in CGS; the supernova setups here (white-dwarf structure,
+/// degenerate EOS, flame speeds) use these values. Sources: CODATA 2018,
+/// truncated to double precision.
+
+#pragma once
+
+namespace fhp::constants {
+
+inline constexpr double kBoltzmann = 1.380649e-16;        ///< erg/K
+inline constexpr double kAvogadro = 6.02214076e23;        ///< 1/mol
+inline constexpr double kGasConstant = 8.31446261815e7;   ///< erg/(mol K)
+inline constexpr double kPlanck = 6.62607015e-27;         ///< erg s
+inline constexpr double kSpeedOfLight = 2.99792458e10;    ///< cm/s
+inline constexpr double kGravitational = 6.67430e-8;      ///< cm^3/(g s^2)
+inline constexpr double kElectronMass = 9.1093837015e-28; ///< g
+inline constexpr double kProtonMass = 1.67262192369e-24;  ///< g
+inline constexpr double kAtomicMassUnit = 1.66053906660e-24;  ///< g
+inline constexpr double kElectronVolt = 1.602176634e-12;  ///< erg
+inline constexpr double kStefanBoltzmann = 5.670374419e-5;///< erg/(cm^2 s K^4)
+/// Radiation constant a = 4 sigma / c, erg/(cm^3 K^4).
+inline constexpr double kRadiationConstant = 7.5657332e-15;
+inline constexpr double kSolarMass = 1.98847e33;          ///< g
+inline constexpr double kSolarRadius = 6.957e10;          ///< cm
+
+/// Electron Compton parameters used by the degenerate EOS:
+/// m_e c^2 in erg and the relativity density scale.
+inline constexpr double kElectronRestEnergy =
+    kElectronMass * kSpeedOfLight * kSpeedOfLight;
+
+}  // namespace fhp::constants

@@ -1,0 +1,28 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace fhp::detail {
+
+namespace {
+std::string format_failure(std::string_view kind, std::string_view expr,
+                           std::string_view msg,
+                           const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " at " << loc.file_name() << ':' << loc.line() << " in "
+     << loc.function_name() << ": (" << expr << ") — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_requirement_failure(std::string_view expr, std::string_view msg,
+                               const std::source_location& loc) {
+  throw ConfigError(format_failure("requirement failed", expr, msg, loc));
+}
+
+void throw_internal_failure(std::string_view expr, std::string_view msg,
+                            const std::source_location& loc) {
+  throw InternalError(format_failure("internal check failed", expr, msg, loc));
+}
+
+}  // namespace fhp::detail

@@ -1,0 +1,82 @@
+/// \file error.hpp
+/// \brief Error handling primitives for flashhp.
+///
+/// FLASH aborts through Driver_abortFlash with a message; we map that onto a
+/// typed exception hierarchy so library users can recover where FLASH could
+/// not. The FHP_REQUIRE / FHP_CHECK macros capture file:line context.
+
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fhp {
+
+/// Base class of all flashhp errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A runtime-parameter or configuration problem (bad flash.par, bad argv).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An operating-system interaction failed (mmap, madvise, /proc parsing...).
+/// Carries the errno value observed at the failure site.
+class SystemError : public Error {
+ public:
+  SystemError(const std::string& what, int errno_value)
+      : Error(what), errno_value_(errno_value) {}
+  /// errno captured when the underlying syscall failed (0 if not applicable).
+  [[nodiscard]] int errno_value() const noexcept { return errno_value_; }
+
+ private:
+  int errno_value_ = 0;
+};
+
+/// Physics/numerics failure: EOS out of table range, negative density,
+/// non-convergent Newton iteration, CFL violation, ...
+class NumericsError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation — indicates a bug in flashhp itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failure(std::string_view expr,
+                                            std::string_view msg,
+                                            const std::source_location& loc);
+[[noreturn]] void throw_internal_failure(std::string_view expr,
+                                         std::string_view msg,
+                                         const std::source_location& loc);
+}  // namespace detail
+
+}  // namespace fhp
+
+/// Validate a caller-supplied precondition; throws fhp::ConfigError on failure.
+#define FHP_REQUIRE(expr, msg)                                    \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::fhp::detail::throw_requirement_failure(                   \
+          #expr, (msg), std::source_location::current());         \
+    }                                                             \
+  } while (false)
+
+/// Validate an internal invariant; throws fhp::InternalError on failure.
+#define FHP_CHECK(expr, msg)                                      \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::fhp::detail::throw_internal_failure(                      \
+          #expr, (msg), std::source_location::current());         \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "support/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+
+#include "support/error.hpp"
+
+namespace fhp {
+
+const char* log_level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const noexcept {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Logger::set_logfile(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (file_.is_open()) file_.close();
+  if (path.empty()) return;
+  file_.open(path, std::ios::out | std::ios::app);
+  if (!file_) {
+    throw SystemError("cannot open log file '" + path + "'", errno);
+  }
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  std::lock_guard lock(mutex_);
+  if (level < level_ || level_ == LogLevel::kOff) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const auto t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%02d:%02d:%02d", tm.tm_hour, tm.tm_min,
+                tm.tm_sec);
+
+  std::fprintf(stderr, "[%s %s] %.*s\n", stamp, log_level_tag(level),
+               static_cast<int>(message.size()), message.data());
+  if (file_.is_open()) {
+    file_ << '[' << stamp << ' ' << log_level_tag(level) << "] " << message
+          << '\n';
+    file_.flush();
+  }
+}
+
+}  // namespace fhp

@@ -1,0 +1,75 @@
+/// \file log.hpp
+/// \brief A minimal leveled logger in the spirit of FLASH's Logfile unit.
+///
+/// FLASH writes a time-stamped run log (flash.log). flashhp logs to an
+/// ostream (stderr by default) with severity filtering; a file sink can be
+/// attached. Thread-safe for interleaved lines.
+
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fhp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Convert a log level to its fixed-width tag ("DEBUG", "INFO ", ...).
+[[nodiscard]] const char* log_level_tag(LogLevel level) noexcept;
+
+/// Process-wide logger. Obtain with Logger::instance().
+class Logger {
+ public:
+  static Logger& instance();
+
+  /// Minimum severity that will be emitted.
+  void set_level(LogLevel level) noexcept;
+  [[nodiscard]] LogLevel level() const noexcept;
+
+  /// Attach a log file (mirrors FLASH's flash.log). Pass an empty path to
+  /// detach. Throws fhp::SystemError if the file cannot be opened.
+  void set_logfile(const std::string& path);
+
+  /// Emit one line at the given severity.
+  void write(LogLevel level, std::string_view message);
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+ private:
+  Logger() = default;
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kInfo;
+  std::ofstream file_;
+};
+
+namespace detail {
+/// Builds a log line with ostream syntax and submits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: FHP_LOG(kInfo) << "mesh has " << n << " blocks";
+#define FHP_LOG(level_name) \
+  ::fhp::detail::LogLine(::fhp::LogLevel::level_name)
+
+}  // namespace fhp

@@ -1,0 +1,134 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace fhp {
+
+namespace {
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && is_space(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<long long> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  long long value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_real(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // Accept Fortran-style exponents 1.0d0 by mapping d/D -> e.
+  std::string buf(s);
+  for (char& c : buf) {
+    if (c == 'd' || c == 'D') c = 'e';
+  }
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+  const std::string v = to_lower(trim(s));
+  if (v == "true" || v == "yes" || v == "on" || v == "1" || v == ".true.") {
+    return true;
+  }
+  if (v == "false" || v == "no" || v == "off" || v == "0" || v == ".false.") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned long long> parse_size_bytes(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  unsigned long long multiplier = 1;
+  char suffix = s.back();
+  if (suffix == 'k' || suffix == 'K') {
+    multiplier = 1ull << 10;
+  } else if (suffix == 'm' || suffix == 'M') {
+    multiplier = 1ull << 20;
+  } else if (suffix == 'g' || suffix == 'G') {
+    multiplier = 1ull << 30;
+  }
+  if (multiplier != 1) s.remove_suffix(1);
+  auto base = parse_int(s);
+  if (!base || *base < 0) return std::nullopt;
+  const auto value = static_cast<unsigned long long>(*base);
+  if (multiplier != 0 && value > ~0ull / multiplier) return std::nullopt;
+  return value * multiplier;
+}
+
+std::string format_bytes(unsigned long long bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  if (unit == 0) {
+    os << bytes << " B";
+  } else {
+    os.precision(1);
+    os << std::fixed << v << ' ' << kUnits[unit];
+  }
+  return os.str();
+}
+
+}  // namespace fhp

@@ -1,0 +1,45 @@
+/// \file string_util.hpp
+/// \brief Small string helpers shared across flashhp modules.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fhp {
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Split on a single character delimiter. Empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; no empty fields are produced.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// True if \p s begins with \p prefix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse an integer (base 10); nullopt on any trailing garbage or overflow.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s);
+
+/// Parse a floating-point value; nullopt on trailing garbage.
+[[nodiscard]] std::optional<double> parse_real(std::string_view s);
+
+/// Parse a boolean: accepts true/false, yes/no, on/off, 1/0, and the
+/// Fortran-flavoured .true./.false. spellings FLASH parameter files use.
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view s);
+
+/// Parse a byte size with optional K/M/G suffix (binary units), e.g. "2M".
+[[nodiscard]] std::optional<unsigned long long> parse_size_bytes(
+    std::string_view s);
+
+/// Render a byte count with a binary-unit suffix ("2.0 MiB").
+[[nodiscard]] std::string format_bytes(unsigned long long bytes);
+
+}  // namespace fhp

@@ -1,0 +1,84 @@
+#include "tlb/cache_model.hpp"
+
+#include "support/error.hpp"
+
+namespace fhp::tlb {
+
+namespace {
+constexpr std::uint32_t log2_u32(std::uint32_t v) {
+  std::uint32_t n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+CacheModel::CacheModel(const CacheGeometry& geometry)
+    : line_(geometry.line_bytes), line_shift_(log2_u32(geometry.line_bytes)) {
+  FHP_REQUIRE(geometry.line_bytes != 0 &&
+                  (geometry.line_bytes & (geometry.line_bytes - 1)) == 0,
+              "cache line size must be a power of two");
+  FHP_REQUIRE(geometry.ways > 0, "cache must have at least one way");
+  const std::size_t total_lines = geometry.capacity_bytes / geometry.line_bytes;
+  FHP_REQUIRE(total_lines >= geometry.ways,
+              "cache capacity smaller than one set");
+  sets_ = static_cast<std::uint32_t>(total_lines / geometry.ways);
+  FHP_REQUIRE(sets_ != 0 && (sets_ & (sets_ - 1)) == 0,
+              "cache set count must be a power of two");
+  ways_ = geometry.ways;
+  lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+CacheResult CacheModel::access(std::uint64_t addr, bool write) noexcept {
+  const std::uint64_t block = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(block & (sets_ - 1));
+  const std::uint64_t tag = block >> log2_u32(sets_);
+  Line* row = &lines_[static_cast<std::size_t>(set) * ways_];
+  ++clock_;
+
+  Line* victim = &row[0];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = row[w];
+    if (l.valid && l.tag == tag) {
+      l.last_use = clock_;
+      l.dirty = l.dirty || write;
+      ++hits_;
+      return {true, false};
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.last_use < victim->last_use) {
+      victim = &l;
+    }
+  }
+  ++misses_;
+  CacheResult result{false, victim->valid && victim->dirty};
+  if (result.writeback) ++writebacks_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = write;
+  victim->last_use = clock_;
+  return result;
+}
+
+bool CacheModel::contains(std::uint64_t addr) const noexcept {
+  const std::uint64_t block = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(block & (sets_ - 1));
+  const std::uint64_t tag = block >> log2_u32(sets_);
+  const Line* row = &lines_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (row[w].valid && row[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void CacheModel::flush() noexcept {
+  for (Line& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+  }
+}
+
+}  // namespace fhp::tlb

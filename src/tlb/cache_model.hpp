@@ -1,0 +1,62 @@
+/// \file cache_model.hpp
+/// \brief Set-associative write-back, write-allocate cache model.
+///
+/// Used for the paper's "Memory (Gbytes/s)" measure: the bytes that cross
+/// each level boundary are counted (line-granular), including write-back
+/// traffic from dirty evictions. LRU replacement; one level per instance —
+/// Machine chains an L1 and an L2.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/geometry.hpp"
+
+namespace fhp::tlb {
+
+/// Result of one cache access.
+struct CacheResult {
+  bool hit = false;
+  bool writeback = false;  ///< a dirty victim was evicted
+};
+
+/// One cache level.
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheGeometry& geometry);
+
+  /// Access the line containing \p addr. Misses install the line.
+  CacheResult access(std::uint64_t addr, bool write) noexcept;
+
+  /// Probe without side effects.
+  [[nodiscard]] bool contains(std::uint64_t addr) const noexcept;
+
+  void flush() noexcept;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const noexcept { return writebacks_; }
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept { return line_; }
+  [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t line_;
+  std::uint32_t line_shift_;
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Line> lines_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace fhp::tlb

@@ -1,0 +1,77 @@
+#include "tlb/tlb_model.hpp"
+
+#include "support/error.hpp"
+
+namespace fhp::tlb {
+
+namespace {
+constexpr bool is_pow2_u32(std::uint32_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+}  // namespace
+
+TlbModel::TlbModel(const TlbGeometry& geometry) {
+  FHP_REQUIRE(geometry.entries > 0, "TLB must have at least one entry");
+  if (geometry.ways == 0 || geometry.ways >= geometry.entries) {
+    sets_ = 1;
+    ways_ = geometry.entries;
+  } else {
+    FHP_REQUIRE(geometry.entries % geometry.ways == 0,
+                "TLB entries must divide evenly into ways");
+    sets_ = geometry.entries / geometry.ways;
+    ways_ = geometry.ways;
+    FHP_REQUIRE(is_pow2_u32(sets_), "TLB set count must be a power of two");
+  }
+  entries_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+bool TlbModel::access(std::uint64_t addr, std::uint8_t page_shift) noexcept {
+  const std::uint64_t vpn = addr >> page_shift;
+  const std::uint32_t set =
+      sets_ == 1 ? 0 : static_cast<std::uint32_t>(vpn & (sets_ - 1));
+  Entry* row = &entries_[static_cast<std::size_t>(set) * ways_];
+  ++clock_;
+
+  Entry* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = row[w];
+    if (e.valid && e.vpn == vpn && e.page_shift == page_shift) {
+      e.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (victim == nullptr && !e.valid) victim = &e;
+  }
+  ++misses_;
+  if (victim == nullptr) {
+    // Pseudo-random replacement (deterministic xorshift64).
+    prng_ ^= prng_ << 13;
+    prng_ ^= prng_ >> 7;
+    prng_ ^= prng_ << 17;
+    victim = &row[prng_ % ways_];
+  }
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->page_shift = page_shift;
+  victim->last_use = clock_;
+  return false;
+}
+
+bool TlbModel::contains(std::uint64_t addr,
+                        std::uint8_t page_shift) const noexcept {
+  const std::uint64_t vpn = addr >> page_shift;
+  const std::uint32_t set =
+      sets_ == 1 ? 0 : static_cast<std::uint32_t>(vpn & (sets_ - 1));
+  const Entry* row = &entries_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Entry& e = row[w];
+    if (e.valid && e.vpn == vpn && e.page_shift == page_shift) return true;
+  }
+  return false;
+}
+
+void TlbModel::flush() noexcept {
+  for (Entry& e : entries_) e.valid = false;
+}
+
+}  // namespace fhp::tlb

@@ -1,0 +1,63 @@
+/// \file tlb_model.hpp
+/// \brief Set-associative TLB with mixed page sizes and true LRU.
+///
+/// Entries tag the virtual page number *and* the page size: a translation
+/// cached for a 4 KiB page cannot serve a 2 MiB lookup and vice versa.
+/// Set indexing uses the VPN low bits (as real L2 TLBs do); a fully
+/// associative geometry (ways == 0) is a single set with true LRU — the
+/// A64FX L1 DTLB shape.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/geometry.hpp"
+
+namespace fhp::tlb {
+
+/// One translation lookaside buffer level.
+///
+/// Replacement is pseudo-random (deterministic xorshift), matching ARM
+/// TLB behaviour: a cyclic working set slightly larger than the capacity
+/// degrades gracefully instead of the 100%-miss pathology of true LRU —
+/// the regime FLASH's EOS table gathers live in on the A64FX.
+class TlbModel {
+ public:
+  explicit TlbModel(const TlbGeometry& geometry);
+
+  /// Look up the page containing \p addr with the given page size.
+  /// On hit returns true (entry promoted to MRU). On miss returns false
+  /// and installs the translation (LRU-evicting within the set).
+  bool access(std::uint64_t addr, std::uint8_t page_shift) noexcept;
+
+  /// Look up without installing (for tests / probing).
+  [[nodiscard]] bool contains(std::uint64_t addr,
+                              std::uint8_t page_shift) const noexcept;
+
+  /// Drop all entries (context switch / between experiment arms).
+  void flush() noexcept;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+
+ private:
+  struct Entry {
+    std::uint64_t vpn = 0;
+    std::uint64_t last_use = 0;
+    std::uint8_t page_shift = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<Entry> entries_;  // sets_ x ways_, row-major by set
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t prng_ = 0x2545f4914f6cdd1dull;  // xorshift64 state
+};
+
+}  // namespace fhp::tlb

@@ -1,0 +1,26 @@
+#include "tlb/trace.hpp"
+
+#include "mem/page_size.hpp"
+
+namespace fhp::tlb {
+
+std::uint8_t effective_page_shift(const mem::MappedRegion& region) {
+  const std::uint8_t base_shift = page_shift_of(mem::base_page_size());
+  if (!region.valid()) return base_shift;
+  switch (region.backing()) {
+    case mem::Backing::kHugetlbfs:
+      return page_shift_of(region.page_bytes());
+    case mem::Backing::kThp: {
+      const std::uint64_t huge = region.resident_huge_bytes();
+      if (huge * 2 >= region.size()) {
+        return page_shift_of(region.page_bytes());
+      }
+      return base_shift;
+    }
+    case mem::Backing::kSmallPages:
+      return base_shift;
+  }
+  return base_shift;
+}
+
+}  // namespace fhp::tlb

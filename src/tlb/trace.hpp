@@ -1,0 +1,58 @@
+/// \file trace.hpp
+/// \brief Kernel-side tracing facade and page-shift discovery.
+///
+/// Physics kernels describe their memory behaviour to the machine model
+/// through a Tracer. A disabled Tracer (null machine) compiles to a
+/// handful of predicted branches, so production runs pay nothing.
+///
+/// Sampling: the driver traces every Nth block sweep and commits with
+/// scale = N. Because every block has the same loop structure, the scaled
+/// counts converge to the full-trace counts while keeping model overhead
+/// at 1/N.
+
+#pragma once
+
+#include <cstdint>
+
+#include "mem/mapped_region.hpp"
+#include "tlb/machine.hpp"
+
+namespace fhp::tlb {
+
+/// Lightweight handle kernels use to replay accesses.
+class Tracer {
+ public:
+  /// A disabled tracer (no machine attached).
+  Tracer() = default;
+
+  /// A tracer feeding \p machine.
+  explicit Tracer(Machine* machine) noexcept : machine_(machine) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return machine_ != nullptr; }
+
+  /// One load/store of \p bytes at \p addr on pages of 2^page_shift bytes.
+  void touch(const void* addr, std::size_t bytes, bool write,
+             std::uint8_t page_shift) noexcept {
+    if (machine_ != nullptr) machine_->touch(addr, bytes, write, page_shift);
+  }
+
+  /// Account compute operations (scalar / vector counts).
+  void compute(std::uint64_t scalar_ops, std::uint64_t vector_ops) noexcept {
+    if (machine_ != nullptr) machine_->compute(scalar_ops, vector_ops);
+  }
+
+  [[nodiscard]] Machine* machine() const noexcept { return machine_; }
+
+ private:
+  Machine* machine_ = nullptr;
+};
+
+/// Effective translation page size (as a shift) of a mapped region:
+///   - hugetlbfs: the pool page size;
+///   - THP: the PMD size if at least half the region is actually resident
+///     on huge pages (promotion can be partial), else the base page size;
+///   - small pages: the base page size.
+/// Call once per region per experiment arm — it may scan /proc/self/smaps.
+[[nodiscard]] std::uint8_t effective_page_shift(const mem::MappedRegion& region);
+
+}  // namespace fhp::tlb

@@ -1,0 +1,227 @@
+/// \file test_checkpoint_exact.cpp
+/// \brief Tests for checkpoint I/O and the exact Sedov similarity solution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "eos/gamma_eos.hpp"
+#include "hydro/hydro.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/sedov.hpp"
+#include "sim/sedov_exact.hpp"
+#include "support/error.hpp"
+
+namespace fhp::sim {
+namespace {
+
+using mesh::var::kDens;
+using mesh::var::kEner;
+using mesh::var::kPres;
+
+// ----------------------------------------------------------- Sedov exact
+
+TEST(SedovExactTest, AlphaMatchesPublishedValues) {
+  // Sedov 1959 / Landau-Lifshitz tables, spherical geometry.
+  EXPECT_NEAR(SedovExact(1.4, 3).alpha(), 0.851, 0.002);
+  EXPECT_NEAR(SedovExact(5.0 / 3.0, 3).alpha(), 0.493, 0.002);
+  // Cylindrical gamma = 1.4: alpha ~ 0.984.
+  EXPECT_NEAR(SedovExact(1.4, 2).alpha(), 0.984, 0.003);
+}
+
+TEST(SedovExactTest, ShockRadiusScalesAsSimilarity) {
+  const SedovExact sedov(1.4, 3);
+  const double r1 = sedov.shock_radius(1.0, 1.0, 1.0);
+  EXPECT_NEAR(sedov.shock_radius(1.0, 1.0, 2.0) / r1, std::pow(4.0, 0.2),
+              1e-12);
+  EXPECT_NEAR(sedov.shock_radius(32.0, 1.0, 1.0) / r1, std::pow(32.0, 0.2),
+              1e-12);
+  EXPECT_NEAR(sedov.shock_radius(1.0, 32.0, 1.0) / r1,
+              std::pow(1.0 / 32.0, 0.2), 1e-12);
+}
+
+TEST(SedovExactTest, ProfileHasTheRightShape) {
+  const SedovExact sedov(1.4, 3);
+  // At the shock everything is the post-shock value.
+  const auto at_shock = sedov.profile(1.0);
+  EXPECT_DOUBLE_EQ(at_shock[0], 1.0);
+  EXPECT_DOUBLE_EQ(at_shock[1], 1.0);
+  // The interior evacuates: density plummets toward the center while the
+  // pressure levels off at a finite plateau (~0.37 p2 for gamma = 1.4).
+  const auto mid = sedov.profile(0.5);
+  EXPECT_LT(mid[0], 0.01);
+  EXPECT_NEAR(mid[2], 0.366, 0.01);
+  const auto center = sedov.profile(0.01);
+  EXPECT_LT(center[0], 1e-10);
+  EXPECT_NEAR(center[2], 0.366, 0.01);
+  // Velocity decreases monotonically toward the center.
+  EXPECT_LT(sedov.profile(0.3)[1], sedov.profile(0.8)[1]);
+}
+
+TEST(SedovExactTest, SetupUsesTheExactAlpha) {
+  const SedovExact sedov(1.4, 3);
+  EXPECT_NEAR(SedovSetup::shock_radius(1.0, 1.0, 0.5, 1.4) /
+                  sedov.shock_radius(1.0, 1.0, 0.5),
+              1.0, 1e-12);
+}
+
+TEST(SedovExactTest, RejectsBadArguments) {
+  EXPECT_THROW(SedovExact(1.0, 3), ConfigError);
+  EXPECT_THROW(SedovExact(1.4, 4), ConfigError);
+  EXPECT_THROW(SedovExact(1.4, 3, 2), ConfigError);
+}
+
+// ------------------------------------------------------------ checkpoints
+
+mesh::MeshConfig ckpt_config() {
+  mesh::MeshConfig c;
+  c.ndim = 2;
+  c.nxb = 8;
+  c.nyb = 8;
+  c.nguard = 4;
+  c.nscalars = 1;
+  c.maxblocks = 128;
+  c.max_level = 3;
+  c.nroot = {2, 1, 1};
+  return c;
+}
+
+void paint(mesh::AmrMesh& m) {
+  const mesh::MeshConfig& c = m.config();
+  for (int b : m.tree().leaves_morton()) {
+    for (int j = c.jlo(); j < c.jhi(); ++j) {
+      for (int i = c.ilo(); i < c.ihi(); ++i) {
+        for (int v = 0; v < c.nvar(); ++v) {
+          m.unk().at(v, i, j, 0, b) =
+              v + 10.0 * m.xcenter(b, i) + 100.0 * m.ycenter(b, j);
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresTopologyAndData) {
+  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone);
+  // A non-trivial tree: refine block 0, then one of its children.
+  original.refine_block(0);
+  original.refine_block(original.tree().find(2, {0, 0, 0}));
+  paint(original);
+  original.fill_guardcells();
+
+  write_checkpoint("ckpt_roundtrip.bin", original, {0.125, 42});
+
+  mesh::AmrMesh restored(ckpt_config(), mem::HugePolicy::kNone);
+  const CheckpointInfo info =
+      read_checkpoint("ckpt_roundtrip.bin", restored);
+  EXPECT_DOUBLE_EQ(info.sim_time, 0.125);
+  EXPECT_EQ(info.step, 42);
+
+  // Same topology...
+  EXPECT_EQ(restored.tree().num_allocated(),
+            original.tree().num_allocated());
+  EXPECT_EQ(restored.tree().leaves_morton(),
+            original.tree().leaves_morton());
+  // ...and bit-identical interiors.
+  const mesh::MeshConfig& c = original.config();
+  for (int b : original.tree().leaves_morton()) {
+    for (int j = c.jlo(); j < c.jhi(); ++j) {
+      for (int i = c.ilo(); i < c.ihi(); ++i) {
+        for (int v = 0; v < c.nvar(); ++v) {
+          ASSERT_EQ(restored.unk().at(v, i, j, 0, b),
+                    original.unk().at(v, i, j, 0, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckpointTest, RestartContinuesBitExactly) {
+  // Run A: 8 Sod-like steps straight through. Run B: 4 steps, checkpoint,
+  // restore into a fresh mesh, 4 more. The results must agree bit for bit
+  // (this is FLASH's restart guarantee).
+  auto build = []() {
+    auto m = std::make_unique<mesh::AmrMesh>(ckpt_config(),
+                                             mem::HugePolicy::kNone);
+    const mesh::MeshConfig& c = m->config();
+    m->for_leaf_cells([&](int b, int i, int j, int k) {
+      const double x = m->xcenter(b, i);
+      const double rho = x < 0.5 ? 1.0 : 0.125;
+      const double p = x < 0.5 ? 1.0 : 0.1;
+      auto& unk = m->unk();
+      unk.at(kDens, i, j, k, b) = rho;
+      unk.at(kPres, i, j, k, b) = p;
+      unk.at(mesh::var::kEint, i, j, k, b) = p / (0.4 * rho);
+      unk.at(kEner, i, j, k, b) = p / (0.4 * rho);
+      unk.at(mesh::var::kGamc, i, j, k, b) = 1.4;
+      unk.at(mesh::var::kGame, i, j, k, b) = 1.4;
+    });
+    (void)c;
+    m->fill_guardcells();
+    return m;
+  };
+
+  eos::GammaEos gamma(1.4);
+
+  auto run_a = build();
+  hydro::HydroSolver solver_a(*run_a, gamma);
+  for (int n = 0; n < 8; ++n) solver_a.step(1e-3);
+
+  auto run_b = build();
+  {
+    hydro::HydroSolver solver_b(*run_b, gamma);
+    for (int n = 0; n < 4; ++n) solver_b.step(1e-3);
+    write_checkpoint("ckpt_restart.bin", *run_b, {4e-3, 4});
+  }
+  auto run_c = std::make_unique<mesh::AmrMesh>(ckpt_config(),
+                                               mem::HugePolicy::kNone);
+  read_checkpoint("ckpt_restart.bin", *run_c);
+  hydro::HydroSolver solver_c(*run_c, gamma);
+  // Match run A's sweep-order phase (4 steps already taken).
+  for (int n = 0; n < 4; ++n) solver_c.step(1e-3);
+
+  const mesh::MeshConfig& c = run_a->config();
+  for (int b : run_a->tree().leaves_morton()) {
+    for (int j = c.jlo(); j < c.jhi(); ++j) {
+      for (int i = c.ilo(); i < c.ihi(); ++i) {
+        ASSERT_EQ(run_c->unk().at(kDens, i, j, 0, b),
+                  run_a->unk().at(kDens, i, j, 0, b))
+            << "b=" << b << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(CheckpointTest, ConfigMismatchRejected) {
+  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone);
+  paint(original);
+  write_checkpoint("ckpt_mismatch.bin", original, {});
+
+  mesh::MeshConfig other = ckpt_config();
+  other.nscalars = 2;  // different layout
+  mesh::AmrMesh wrong(other, mem::HugePolicy::kNone);
+  EXPECT_THROW(read_checkpoint("ckpt_mismatch.bin", wrong), ConfigError);
+}
+
+TEST(CheckpointTest, MissingAndCorruptFilesRejected) {
+  mesh::AmrMesh m(ckpt_config(), mem::HugePolicy::kNone);
+  EXPECT_THROW(read_checkpoint("nonexistent.bin", m), SystemError);
+  // A file with the wrong magic is rejected before any topology change.
+  std::FILE* f = std::fopen("ckpt_garbage.bin", "wb");
+  std::fputs("not a checkpoint at all, sorry", f);
+  std::fclose(f);
+  EXPECT_THROW(read_checkpoint("ckpt_garbage.bin", m), ConfigError);
+}
+
+TEST(CheckpointTest, RequiresAFreshMesh) {
+  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone);
+  paint(original);
+  write_checkpoint("ckpt_fresh.bin", original, {});
+
+  mesh::AmrMesh busy(ckpt_config(), mem::HugePolicy::kNone);
+  busy.refine_block(0);  // not fresh any more
+  EXPECT_THROW(read_checkpoint("ckpt_fresh.bin", busy), ConfigError);
+}
+
+}  // namespace
+}  // namespace fhp::sim

@@ -1,0 +1,414 @@
+/// \file test_mem.cpp
+/// \brief Unit tests for the huge-page memory library.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "mem/allocator.hpp"
+#include "mem/arena.hpp"
+#include "mem/huge_policy.hpp"
+#include "mem/hugeadm.hpp"
+#include "mem/mapped_region.hpp"
+#include "mem/meminfo.hpp"
+#include "mem/page_size.hpp"
+#include "mem/thp.hpp"
+#include "support/error.hpp"
+
+namespace fhp::mem {
+namespace {
+
+// ------------------------------------------------------------- page sizes
+
+TEST(PageSize, BasePageIsSane) {
+  const std::size_t base = base_page_size();
+  EXPECT_GE(base, 4096u);
+  EXPECT_TRUE(is_pow2(base));
+}
+
+TEST(PageSize, RoundUp) {
+  EXPECT_EQ(round_up(1, kPage4K), kPage4K);
+  EXPECT_EQ(round_up(kPage4K, kPage4K), kPage4K);
+  EXPECT_EQ(round_up(kPage4K + 1, kPage4K), 2 * kPage4K);
+  EXPECT_EQ(round_up(3u << 20, kPage2M), 4u << 20);
+}
+
+TEST(PageSize, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(kPage2M));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(kPage2M + 1));
+}
+
+TEST(PageSize, Log2Pow2) {
+  EXPECT_EQ(log2_pow2(kPage4K), 12u);
+  EXPECT_EQ(log2_pow2(kPage2M), 21u);
+  EXPECT_EQ(log2_pow2(kPage512M), 29u);
+}
+
+TEST(PageSize, ParseHugepagesDirname) {
+  EXPECT_EQ(parse_hugepages_dirname("hugepages-2048kB"), kPage2M);
+  EXPECT_EQ(parse_hugepages_dirname("hugepages-1048576kB"), kPage1G);
+  EXPECT_FALSE(parse_hugepages_dirname("hugepages-").has_value());
+  EXPECT_FALSE(parse_hugepages_dirname("transparent_hugepage").has_value());
+  EXPECT_FALSE(parse_hugepages_dirname("hugepages-abckB").has_value());
+}
+
+TEST(PageSize, HugetlbPoolsEnumerationDoesNotThrow) {
+  // Presence depends on the kernel; the call must degrade gracefully.
+  const auto pools = hugetlb_pools();
+  for (const auto& p : pools) {
+    EXPECT_TRUE(is_pow2(p.page_bytes));
+  }
+  // A bogus root yields an empty list, not an error.
+  EXPECT_TRUE(hugetlb_pools("/nonexistent/sysfs").empty());
+}
+
+// ----------------------------------------------------------------- policy
+
+TEST(HugePolicy, ParseAcceptsAliases) {
+  EXPECT_EQ(parse_huge_policy("none"), HugePolicy::kNone);
+  EXPECT_EQ(parse_huge_policy("THP"), HugePolicy::kThp);
+  EXPECT_EQ(parse_huge_policy("hugetlbfs"), HugePolicy::kHugetlbfs);
+  EXPECT_EQ(parse_huge_policy(" hugetlb "), HugePolicy::kHugetlbfs);
+  EXPECT_FALSE(parse_huge_policy("bogus").has_value());
+}
+
+TEST(HugePolicy, ToStringRoundTrips) {
+  for (auto p : {HugePolicy::kNone, HugePolicy::kThp, HugePolicy::kHugetlbfs}) {
+    EXPECT_EQ(parse_huge_policy(to_string(p)), p);
+  }
+}
+
+TEST(HugePolicy, EnvironmentVariableWins) {
+  ::setenv(kPolicyEnvVar, "thp", 1);
+  EXPECT_EQ(policy_from_environment(HugePolicy::kNone), HugePolicy::kThp);
+  ::unsetenv(kPolicyEnvVar);
+}
+
+TEST(HugePolicy, FujitsuVariableHonoured) {
+  ::unsetenv(kPolicyEnvVar);
+  ::setenv(kFujitsuPolicyEnvVar, "hugetlbfs", 1);
+  EXPECT_EQ(policy_from_environment(HugePolicy::kNone),
+            HugePolicy::kHugetlbfs);
+  ::unsetenv(kFujitsuPolicyEnvVar);
+}
+
+TEST(HugePolicy, BadEnvironmentValueThrows) {
+  ::setenv(kPolicyEnvVar, "gibberish", 1);
+  EXPECT_THROW(policy_from_environment(), ConfigError);
+  ::unsetenv(kPolicyEnvVar);
+}
+
+TEST(HugePolicy, EnvironmentFallback) {
+  ::unsetenv(kPolicyEnvVar);
+  ::unsetenv(kFujitsuPolicyEnvVar);
+  EXPECT_EQ(policy_from_environment(HugePolicy::kThp), HugePolicy::kThp);
+}
+
+// -------------------------------------------------------------------- thp
+
+TEST(Thp, ParseEnabledBracketFormat) {
+  EXPECT_EQ(parse_thp_enabled("[always] madvise never"), ThpMode::kAlways);
+  EXPECT_EQ(parse_thp_enabled("always [madvise] never"), ThpMode::kMadvise);
+  EXPECT_EQ(parse_thp_enabled("always madvise [never]"), ThpMode::kNever);
+  EXPECT_EQ(parse_thp_enabled("garbage"), ThpMode::kUnknown);
+  EXPECT_EQ(parse_thp_enabled(""), ThpMode::kUnknown);
+  EXPECT_EQ(parse_thp_enabled("[]"), ThpMode::kUnknown);
+}
+
+TEST(Thp, SystemModeFromMissingFileIsUnknown) {
+  EXPECT_EQ(system_thp_mode("/nonexistent"), ThpMode::kUnknown);
+  EXPECT_FALSE(thp_available("/nonexistent"));
+}
+
+TEST(Thp, AdviseOnFreshMappingSucceedsOrFailsCleanly) {
+  MapRequest req;
+  req.bytes = 4u << 20;
+  req.policy = HugePolicy::kNone;
+  MappedRegion region(req);
+  // These must never crash regardless of kernel support.
+  advise_huge(region.data(), region.size());
+  advise_no_huge(region.data(), region.size());
+}
+
+// ---------------------------------------------------------------- meminfo
+
+constexpr const char* kMeminfoFixture =
+    "MemTotal:       16461744 kB\n"
+    "MemFree:        15037352 kB\n"
+    "MemAvailable:   15925052 kB\n"
+    "AnonHugePages:     43008 kB\n"
+    "ShmemHugePages:        0 kB\n"
+    "FileHugePages:      2048 kB\n"
+    "HugePages_Total:      16\n"
+    "HugePages_Free:        8\n"
+    "HugePages_Rsvd:        2\n"
+    "HugePages_Surp:        1\n"
+    "Hugepagesize:       2048 kB\n"
+    "Hugetlb:           32768 kB\n";
+
+TEST(Meminfo, ParsesThePapersFields) {
+  const auto s = MeminfoSnapshot::parse(kMeminfoFixture);
+  EXPECT_EQ(s.anon_huge_pages, 43008ull << 10);
+  EXPECT_EQ(s.shmem_huge_pages, 0u);
+  EXPECT_EQ(s.file_huge_pages, 2048ull << 10);
+  EXPECT_EQ(s.huge_pages_total, 16u);
+  EXPECT_EQ(s.huge_pages_free, 8u);
+  EXPECT_EQ(s.huge_pages_rsvd, 2u);
+  EXPECT_EQ(s.huge_pages_surp, 1u);
+  EXPECT_EQ(s.hugepagesize, kPage2M);
+  EXPECT_EQ(s.hugetlb, 32768ull << 10);
+  EXPECT_EQ(s.mem_total, 16461744ull << 10);
+}
+
+TEST(Meminfo, DeltaSince) {
+  auto before = MeminfoSnapshot::parse(kMeminfoFixture);
+  auto after = before;
+  after.anon_huge_pages += 4ull << 20;
+  after.huge_pages_free -= 3;
+  const auto d = after.since(before);
+  EXPECT_EQ(d.anon_huge_pages, 4ll << 20);
+  EXPECT_EQ(d.huge_pages_free, -3);
+}
+
+TEST(Meminfo, CaptureRealProcFile) {
+  const auto s = MeminfoSnapshot::capture();
+  EXPECT_GT(s.mem_total, 0u);
+  EXPECT_FALSE(s.summary().empty());
+}
+
+TEST(Meminfo, MissingFileThrows) {
+  EXPECT_THROW(MeminfoSnapshot::capture("/nonexistent/meminfo"), SystemError);
+}
+
+TEST(SmapsRollupTest, ParsesFixture) {
+  const auto s = SmapsRollup::parse(
+      "55d0a0000000-7ffd2c1f3000 ---p 00000000 00:00 0    [rollup]\n"
+      "Rss:              123456 kB\n"
+      "AnonHugePages:      4096 kB\n"
+      "ShmemPmdMapped:        0 kB\n"
+      "Shared_Hugetlb:        0 kB\n"
+      "Private_Hugetlb:   16384 kB\n");
+  EXPECT_EQ(s.rss, 123456ull << 10);
+  EXPECT_EQ(s.anon_huge_pages, 4096ull << 10);
+  EXPECT_EQ(s.private_hugetlb, 16384ull << 10);
+  EXPECT_EQ(s.total_huge_bytes(), (4096ull + 16384ull) << 10);
+}
+
+// ---------------------------------------------------------- mapped region
+
+TEST(MappedRegion, NonePolicyGivesSmallPages) {
+  MapRequest req;
+  req.bytes = 1u << 20;
+  req.policy = HugePolicy::kNone;
+  MappedRegion region(req);
+  ASSERT_TRUE(region.valid());
+  EXPECT_EQ(region.backing(), Backing::kSmallPages);
+  EXPECT_EQ(region.page_bytes(), base_page_size());
+  EXPECT_GE(region.size(), req.bytes);
+  EXPECT_EQ(region.resident_huge_bytes(), 0u);
+}
+
+TEST(MappedRegion, MemoryIsZeroInitialized) {
+  MapRequest req;
+  req.bytes = 1u << 20;
+  req.policy = HugePolicy::kNone;
+  MappedRegion region(req);
+  const auto* bytes = static_cast<const unsigned char*>(region.data());
+  // prefault() wrote 1 to the first byte of each page; check others.
+  for (std::size_t i = 1; i < region.size(); i += 4099) {
+    if (i % base_page_size() == 0) continue;
+    ASSERT_EQ(bytes[i], 0u) << "offset " << i;
+  }
+}
+
+TEST(MappedRegion, ThpPolicyIsPmdAligned) {
+  MapRequest req;
+  req.bytes = 5u << 20;
+  req.policy = HugePolicy::kThp;
+  MappedRegion region(req);
+  ASSERT_TRUE(region.valid());
+  EXPECT_EQ(region.backing(), Backing::kThp);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(region.data()) %
+                region.page_bytes(),
+            0u);
+  EXPECT_EQ(region.size() % region.page_bytes(), 0u);
+}
+
+TEST(MappedRegion, ZeroBytesRejected) {
+  MapRequest req;
+  req.bytes = 0;
+  EXPECT_THROW(MappedRegion{req}, ConfigError);
+}
+
+TEST(MappedRegion, MoveTransfersOwnership) {
+  MapRequest req;
+  req.bytes = 1u << 20;
+  MappedRegion a(req);
+  void* data = a.data();
+  MappedRegion b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  MappedRegion c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), data);
+  EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(MappedRegion, ResetIsIdempotent) {
+  MapRequest req;
+  req.bytes = 1u << 20;
+  MappedRegion region(req);
+  region.reset();
+  EXPECT_FALSE(region.valid());
+  region.reset();
+  EXPECT_EQ(region.describe(), "<unmapped>");
+}
+
+TEST(MappedRegion, HugetlbfsFallsBackWhenNoPool) {
+  // Request an absurd hugetlb preference that no pool satisfies: the
+  // region must still come back usable (THP or base pages).
+  MapRequest req;
+  req.bytes = 2u << 20;
+  req.policy = HugePolicy::kHugetlbfs;
+  req.hugetlb_page = kPage1G;  // pool almost certainly empty
+  MappedRegion region(req);
+  ASSERT_TRUE(region.valid());
+  static_cast<char*>(region.data())[0] = 1;  // usable memory
+}
+
+TEST(MappedRegion, HugetlbfsUsesPoolWhenAvailable) {
+  const auto granted = ensure_hugetlb_pool(kPage2M, 8);
+  if (!granted || *granted < 8) {
+    GTEST_SKIP() << "cannot configure a hugetlb pool here";
+  }
+  MapRequest req;
+  req.bytes = 8u << 20;
+  req.policy = HugePolicy::kHugetlbfs;
+  MappedRegion region(req);
+  ASSERT_TRUE(region.valid());
+  EXPECT_EQ(region.backing(), Backing::kHugetlbfs);
+  EXPECT_EQ(region.page_bytes(), kPage2M);
+  EXPECT_EQ(region.resident_huge_bytes(), region.size());
+  // The paper's verification: the pool's free count drops while mapped.
+  const auto snap = MeminfoSnapshot::capture();
+  EXPECT_LT(snap.huge_pages_free, snap.huge_pages_total);
+}
+
+// ------------------------------------------------------------------ arena
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  std::vector<std::pair<char*, std::size_t>> blocks;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t bytes = 64 + static_cast<std::size_t>(i) * 13;
+    auto* p = static_cast<char*>(arena.allocate(bytes, 64));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    blocks.emplace_back(p, bytes);
+  }
+  // Write patterns and verify no overlap corrupted anything.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::memset(blocks[i].first, static_cast<int>(i), blocks[i].second);
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t b = 0; b < blocks[i].second; ++b) {
+      ASSERT_EQ(static_cast<unsigned char>(blocks[i].first[b]), i);
+    }
+  }
+}
+
+TEST(Arena, LargeAllocationGetsDedicatedChunk) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  (void)arena.allocate(64);
+  (void)arena.allocate(16u << 20);  // bigger than the chunk quantum
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.chunk_count, 2u);
+  EXPECT_GE(stats.bytes_reserved, 20u << 20);
+}
+
+TEST(Arena, StatsTrackRequests) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  (void)arena.allocate(100);
+  (void)arena.allocate(200);
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.allocation_count, 2u);
+  EXPECT_EQ(stats.bytes_requested, 300u);
+  EXPECT_EQ(stats.small_chunks, 1u);
+}
+
+TEST(Arena, ReleaseDropsEverything) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  (void)arena.allocate(1u << 20);
+  arena.release();
+  EXPECT_EQ(arena.stats().chunk_count, 0u);
+  // Arena remains usable afterwards.
+  (void)arena.allocate(64);
+  EXPECT_EQ(arena.stats().chunk_count, 1u);
+}
+
+TEST(Arena, RejectsBadArguments) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  EXPECT_THROW(arena.allocate(0), ConfigError);
+  EXPECT_THROW(arena.allocate(64, 63), ConfigError);  // non-pow2 alignment
+  EXPECT_THROW(Arena(HugePolicy::kNone, 1024), ConfigError);  // tiny chunk
+}
+
+TEST(Arena, ReportMentionsPolicyAndChunks) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  (void)arena.allocate(128);
+  const std::string report = arena.report();
+  EXPECT_NE(report.find("policy=none"), std::string::npos);
+  EXPECT_NE(report.find("chunk 0"), std::string::npos);
+}
+
+// -------------------------------------------------------------- allocator
+
+TEST(HugeAllocatorTest, WorksWithStdVector) {
+  Arena arena(HugePolicy::kNone, 4u << 20);
+  std::vector<double, HugeAllocator<double>> v{HugeAllocator<double>(arena)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(v[9999], 9999.0);
+  EXPECT_GT(arena.stats().bytes_requested, 10000u * 8);
+}
+
+TEST(HugeAllocatorTest, EqualityFollowsArenaIdentity) {
+  Arena a(HugePolicy::kNone, 4u << 20), b(HugePolicy::kNone, 4u << 20);
+  HugeAllocator<int> aa(a), ab(a), ba(b);
+  EXPECT_TRUE(aa == ab);
+  EXPECT_FALSE(aa == ba);
+  HugeAllocator<double> rebound(aa);  // converting constructor
+  EXPECT_TRUE(rebound == HugeAllocator<double>(a));
+}
+
+TEST(HugeBufferTest, SizeAndZeroInit) {
+  HugeBuffer<double> buf(1000, HugePolicy::kNone);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(buf.span().size(), 1000u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], 0.0);
+  }
+  buf[500] = 3.5;
+  EXPECT_DOUBLE_EQ(buf.span()[500], 3.5);
+}
+
+// ---------------------------------------------------------------- hugeadm
+
+TEST(Hugeadm, MissingSysfsYieldsNullopt) {
+  EXPECT_FALSE(ensure_hugetlb_pool(kPage2M, 1, "/nonexistent").has_value());
+  EXPECT_FALSE(release_hugetlb_pool(kPage2M, 0, "/nonexistent"));
+}
+
+TEST(Hugeadm, EnsureIsMonotoneNonDestructive) {
+  const auto current = ensure_hugetlb_pool(kPage2M, 0);
+  if (!current) GTEST_SKIP() << "no hugetlb support";
+  // Asking for fewer pages than exist must not shrink the pool.
+  const auto after = ensure_hugetlb_pool(kPage2M, 0);
+  EXPECT_GE(*after, *current == 0 ? 0 : *current);
+}
+
+}  // namespace
+}  // namespace fhp::mem

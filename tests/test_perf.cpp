@@ -1,0 +1,304 @@
+/// \file test_perf.cpp
+/// \brief Unit tests for the perf (PAPI-analog) library.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "perf/events.hpp"
+#include "perf/perf_event_backend.hpp"
+#include "perf/region.hpp"
+#include "perf/report.hpp"
+#include "perf/soft_counters.hpp"
+#include "perf/timers.hpp"
+#include "support/error.hpp"
+
+namespace fhp::perf {
+namespace {
+
+class PerfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SoftCounters::instance().reset();
+    RegionRegistry::instance().reset();
+  }
+};
+
+// ------------------------------------------------------------------ events
+
+TEST(Events, NamesAreUniqueAndPapiFlavoured) {
+  EXPECT_EQ(event_name(Event::kCycles), "PAPI_TOT_CYC");
+  EXPECT_EQ(event_name(Event::kDtlbMisses), "PAPI_TLB_DM");
+  EXPECT_EQ(event_name(Event::kVectorOps), "PAPI_VEC_INS");
+}
+
+TEST(Events, CounterSetArithmetic) {
+  CounterSet a, b;
+  a[Event::kCycles] = 100;
+  a[Event::kDtlbMisses] = 7;
+  b[Event::kCycles] = 250;
+  b[Event::kDtlbMisses] = 10;
+  const CounterSet d = b.since(a);
+  EXPECT_EQ(d[Event::kCycles], 150u);
+  EXPECT_EQ(d[Event::kDtlbMisses], 3u);
+  CounterSet sum = a;
+  sum += d;
+  EXPECT_EQ(sum[Event::kCycles], b[Event::kCycles]);
+}
+
+TEST(Events, DeriveMeasuresMatchesPaperDefinitions) {
+  CounterSet delta;
+  delta[Event::kCycles] = 1800000000ull;  // 1 second at 1.8 GHz
+  delta[Event::kVectorOps] = 900000000ull;
+  delta[Event::kDtlbMisses] = 2340000ull;
+  delta[Event::kBytesRead] = 3000000000ull;
+  delta[Event::kBytesWritten] = 1190000000ull;
+  const MeasureSet m = derive_measures(delta, 1.8e9);
+  EXPECT_DOUBLE_EQ(m.hardware_cycles, 1.8e9);
+  EXPECT_DOUBLE_EQ(m.time_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(m.vector_per_cycle, 0.5);
+  EXPECT_NEAR(m.memory_gbytes_per_s, 4.19, 1e-9);
+  EXPECT_DOUBLE_EQ(m.dtlb_misses_per_s, 2.34e6);
+}
+
+TEST(Events, DeriveMeasuresZeroSafe) {
+  const MeasureSet m = derive_measures(CounterSet{}, 1.8e9);
+  EXPECT_EQ(m.time_seconds, 0.0);
+  EXPECT_EQ(m.vector_per_cycle, 0.0);
+  EXPECT_EQ(m.dtlb_misses_per_s, 0.0);
+}
+
+TEST(Events, RatiosMatchFigureOneDefinition) {
+  MeasureSet with, without;
+  with.dtlb_misses_per_s = 1.10e6;
+  without.dtlb_misses_per_s = 2.34e7;
+  with.time_seconds = 65.2;
+  without.time_seconds = 69.7;
+  const MeasureRatios r = ratios(with, 333.150, without, 339.032);
+  EXPECT_NEAR(r.dtlb_misses_per_s, 0.047, 0.001);
+  EXPECT_NEAR(r.time_seconds, 0.935, 0.001);
+  EXPECT_NEAR(r.flash_timer, 0.9826, 0.001);
+}
+
+// ------------------------------------------------------------ soft counters
+
+TEST_F(PerfTest, SoftCountersAccumulate) {
+  auto& sc = SoftCounters::instance();
+  sc.add(Event::kCycles, 10);
+  sc.add(Event::kCycles, 5);
+  sc.add(Event::kDtlbMisses, 2);
+  const CounterSet s = sc.snapshot();
+  EXPECT_EQ(s[Event::kCycles], 15u);
+  EXPECT_EQ(s[Event::kDtlbMisses], 2u);
+}
+
+TEST_F(PerfTest, SoftCountersBulkAddAndReset) {
+  CounterSet d;
+  d[Event::kBytesRead] = 123;
+  SoftCounters::instance().add_all(d);
+  EXPECT_EQ(SoftCounters::instance().snapshot()[Event::kBytesRead], 123u);
+  SoftCounters::instance().reset();
+  EXPECT_EQ(SoftCounters::instance().snapshot()[Event::kBytesRead], 0u);
+}
+
+// ----------------------------------------------------------------- regions
+
+TEST_F(PerfTest, RegionCapturesCounterDelta) {
+  {
+    PerfRegion region("unit-test");
+    SoftCounters::instance().add(Event::kCycles, 1000);
+    SoftCounters::instance().add(Event::kDtlbMisses, 3);
+  }
+  const RegionStats stats = RegionRegistry::instance().get("unit-test");
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.totals[Event::kCycles], 1000u);
+  EXPECT_EQ(stats.totals[Event::kDtlbMisses], 3u);
+  EXPECT_GT(stats.totals[Event::kWallNanos], 0u);
+}
+
+TEST_F(PerfTest, RegionAccumulatesAcrossEntries) {
+  for (int i = 0; i < 3; ++i) {
+    PerfRegion region("loop");
+    SoftCounters::instance().add(Event::kCycles, 10);
+  }
+  const RegionStats stats = RegionRegistry::instance().get("loop");
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.totals[Event::kCycles], 30u);
+}
+
+TEST_F(PerfTest, RegionsNestIndependently) {
+  {
+    PerfRegion outer("outer");
+    SoftCounters::instance().add(Event::kCycles, 5);
+    {
+      PerfRegion inner("inner");
+      SoftCounters::instance().add(Event::kCycles, 7);
+    }
+    SoftCounters::instance().add(Event::kCycles, 11);
+  }
+  // Nested counts land in both regions (like nested PAPI reads).
+  EXPECT_EQ(RegionRegistry::instance().get("inner").totals[Event::kCycles],
+            7u);
+  EXPECT_EQ(RegionRegistry::instance().get("outer").totals[Event::kCycles],
+            23u);
+}
+
+TEST_F(PerfTest, StopIsIdempotent) {
+  PerfRegion region("stopped");
+  SoftCounters::instance().add(Event::kCycles, 4);
+  region.stop();
+  SoftCounters::instance().add(Event::kCycles, 100);
+  region.stop();  // no-op
+  EXPECT_EQ(RegionRegistry::instance().get("stopped").totals[Event::kCycles],
+            4u);
+  EXPECT_EQ(RegionRegistry::instance().get("stopped").entries, 1u);
+}
+
+TEST_F(PerfTest, UnknownRegionIsZeros) {
+  const RegionStats stats = RegionRegistry::instance().get("never-entered");
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.totals[Event::kCycles], 0u);
+}
+
+TEST_F(PerfTest, RegistryNamesSorted) {
+  { PerfRegion r("zeta"); }
+  { PerfRegion r("alpha"); }
+  const auto names = RegionRegistry::instance().names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+// --------------------------------------------------------------- hw backend
+
+TEST(PerfEventBackendTest, ProbeNeverCrashes) {
+  PerfEventBackend backend;
+  // May or may not be available in a container; both are fine, but the
+  // object must be safely usable either way.
+  const CounterSet s = backend.read();
+  if (!backend.available()) {
+    EXPECT_EQ(s[Event::kCycles], 0u);
+  }
+}
+
+TEST(PerfEventBackendTest, HardwareCaptureDegradesGracefully) {
+  set_hardware_capture(true);
+  // If the PMU is unavailable the flag silently stays off.
+  if (!PerfEventBackend::paranoid_level().has_value()) {
+    EXPECT_FALSE(hardware_capture_active());
+  }
+  set_hardware_capture(false);
+  EXPECT_FALSE(hardware_capture_active());
+}
+
+// ------------------------------------------------------------------ timers
+
+TEST(TimersTest, AccumulatesNamedScopes) {
+  Timers timers;
+  timers.start("evolution");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  timers.stop("evolution");
+  EXPECT_GT(timers.seconds("evolution"), 0.001);
+  EXPECT_EQ(timers.calls("evolution"), 1u);
+}
+
+TEST(TimersTest, NestedTimersFormDistinctNodes) {
+  Timers timers;
+  timers.start("hydro");
+  timers.start("riemann");
+  timers.stop("riemann");
+  timers.stop("hydro");
+  timers.start("riemann");  // same name at root level: separate node
+  timers.stop("riemann");
+  EXPECT_EQ(timers.calls("riemann"), 2u);
+  EXPECT_EQ(timers.calls("hydro"), 1u);
+}
+
+TEST(TimersTest, MismatchedStopThrows) {
+  Timers timers;
+  timers.start("a");
+  EXPECT_THROW(timers.stop("b"), ConfigError);
+  timers.stop("a");
+  EXPECT_THROW(timers.stop("a"), ConfigError);  // nothing running
+}
+
+TEST(TimersTest, SameNameNestsAsDistinctNode) {
+  // FLASH allows recursive timers: a "y" inside "y" is a separate node.
+  Timers timers;
+  timers.start("y");
+  timers.start("y");
+  timers.stop("y");
+  timers.stop("y");
+  EXPECT_EQ(timers.calls("y"), 2u);
+}
+
+TEST(TimersTest, ScopeIsExceptionSafe) {
+  Timers timers;
+  try {
+    Timers::Scope scope(timers, "guarded");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(timers.calls("guarded"), 1u);
+}
+
+TEST(TimersTest, SummaryListsTimers) {
+  Timers timers;
+  {
+    Timers::Scope a(timers, "evolution");
+    Timers::Scope b(timers, "hydro");
+  }
+  std::ostringstream os;
+  timers.summary(os);
+  EXPECT_NE(os.str().find("evolution"), std::string::npos);
+  EXPECT_NE(os.str().find("hydro"), std::string::npos);
+  EXPECT_NE(os.str().find("elapsed"), std::string::npos);
+}
+
+TEST(TimersTest, ResetClearsEverything) {
+  Timers timers;
+  timers.start("t");
+  timers.stop("t");
+  timers.reset();
+  EXPECT_EQ(timers.calls("t"), 0u);
+  EXPECT_EQ(timers.seconds("t"), 0.0);
+}
+
+
+// ------------------------------------------------------------------ report
+
+TEST_F(PerfTest, RegionReportDerivesMeasures) {
+  {
+    PerfRegion region("report-me");
+    SoftCounters::instance().add(Event::kCycles, 1800000000ull);
+    SoftCounters::instance().add(Event::kDtlbMisses, 900000ull);
+    SoftCounters::instance().add(Event::kVectorOps, 180000000ull);
+  }
+  const RegionReport report(1.8e9);
+  const RegionMeasures rm = report.get("report-me");
+  EXPECT_EQ(rm.entries, 1u);
+  EXPECT_NEAR(rm.measures.time_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(rm.measures.dtlb_misses_per_s, 9.0e5, 1.0);
+  EXPECT_NEAR(rm.measures.vector_per_cycle, 0.1, 1e-9);
+  EXPECT_GT(rm.wall_seconds, 0.0);
+}
+
+TEST_F(PerfTest, RegionReportUnknownRegionIsZeros) {
+  const RegionReport report(1.8e9);
+  EXPECT_EQ(report.get("absent").entries, 0u);
+}
+
+TEST_F(PerfTest, RegionReportRenders) {
+  { PerfRegion region("alpha"); }
+  { PerfRegion region("beta"); }
+  const RegionReport report(1.8e9);
+  std::ostringstream os;
+  report.render(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("beta"), std::string::npos);
+  EXPECT_NE(os.str().find("DTLB/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fhp::perf

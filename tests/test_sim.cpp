@@ -1,0 +1,306 @@
+/// \file test_sim.cpp
+/// \brief Integration tests: setups, driver, profiles, and the paper's
+/// headline reproduction invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hydro/hydro.hpp"
+#include "mem/meminfo.hpp"
+#include "perf/region.hpp"
+#include "perf/timers.hpp"
+#include "sim/driver.hpp"
+#include "sim/profiles.hpp"
+#include "sim/sedov.hpp"
+#include "sim/supernova.hpp"
+#include "tlb/machine.hpp"
+
+namespace fhp::sim {
+namespace {
+
+using mesh::var::kDens;
+using mesh::var::kEner;
+using mesh::var::kPres;
+
+// ------------------------------------------------------------------ Sedov
+
+TEST(SedovSetupTest, InitialStateIsAmbientPlusSpike) {
+  SedovParams params;
+  params.ndim = 2;
+  params.nzb = 1;
+  params.max_level = 2;
+  params.maxblocks = 64;
+  SedovSetup setup(params, mem::HugePolicy::kNone);
+  mesh::AmrMesh& m = setup.mesh();
+
+  double p_min = 1e300, p_max = 0.0;
+  m.for_leaf_cells([&](int b, int i, int j, int k) {
+    const double p = m.unk().at(kPres, i, j, k, b);
+    p_min = std::min(p_min, p);
+    p_max = std::max(p_max, p);
+    EXPECT_DOUBLE_EQ(m.unk().at(kDens, i, j, k, b), params.rho_ambient);
+  });
+  EXPECT_DOUBLE_EQ(p_min, params.p_ambient);
+  EXPECT_GT(p_max, 1e3 * params.p_ambient);  // the spike
+}
+
+TEST(SedovSetupTest, MeshRefinedAroundTheSpike) {
+  SedovParams params;
+  params.ndim = 2;
+  params.nzb = 1;
+  params.max_level = 3;
+  params.maxblocks = 128;
+  SedovSetup setup(params, mem::HugePolicy::kNone);
+  EXPECT_EQ(setup.mesh().tree().finest_level(), 3);
+  EXPECT_TRUE(setup.mesh().tree().is_balanced());
+}
+
+TEST(SedovSetupTest, ShockRadiusFormula) {
+  // R = (E t^2 / (alpha rho))^{1/5}; the exact alpha(1.4, nu=3) = 0.8511.
+  const double r = SedovSetup::shock_radius(1.0, 1.0, 0.5, 1.4);
+  EXPECT_NEAR(r, std::pow(0.25 / 0.851, 0.2), 2e-4);
+  // Doubling the energy at fixed t grows the radius by 2^{1/5}.
+  EXPECT_NEAR(SedovSetup::shock_radius(2.0, 1.0, 0.5, 1.4) / r,
+              std::pow(2.0, 0.2), 1e-12);
+}
+
+TEST(SedovEvolution, TwoDConservesAndExpands) {
+  SedovParams params;
+  params.ndim = 2;
+  params.nzb = 1;
+  params.max_level = 3;
+  params.maxblocks = 300;
+  SedovSetup setup(params, mem::HugePolicy::kNone);
+  mesh::AmrMesh& m = setup.mesh();
+  hydro::HydroSolver hydro(m, setup.eos());
+  perf::Timers timers;
+  DriverOptions opts;
+  opts.nsteps = 30;
+  opts.trace_sample = 0;
+  opts.verbose = false;
+  Driver driver(m, hydro, timers, opts);
+
+  const double mass0 = m.integrate(kDens);
+  const double ener0 = m.integrate_product(kDens, kEner);
+  driver.evolve();
+  EXPECT_EQ(driver.steps(), 30);
+  EXPECT_GT(driver.sim_time(), 0.0);
+  EXPECT_NEAR(m.integrate(kDens) / mass0, 1.0, 1e-9);
+  EXPECT_NEAR(m.integrate_product(kDens, kEner) / ener0, 1.0, 1e-9);
+
+  RadialProfile profile(m, {0.5, 0.5, 0.0}, 80, {kDens});
+  EXPECT_GT(profile.peak_radius(0), 0.05);  // blast moved off the spike
+  EXPECT_GT(profile.peak_value(0), 1.5);    // compression at the shell
+}
+
+TEST(SedovEvolution, ThreeDShockTracksSimilaritySolution) {
+  SedovParams params;  // 3-d defaults
+  params.max_level = 2;
+  params.maxblocks = 100;
+  SedovSetup setup(params, mem::HugePolicy::kNone);
+  hydro::HydroSolver hydro(setup.mesh(), setup.eos());
+  perf::Timers timers;
+  DriverOptions opts;
+  opts.nsteps = 60;
+  opts.trace_sample = 0;
+  opts.verbose = false;
+  Driver driver(setup.mesh(), hydro, timers, opts);
+  driver.evolve();
+
+  RadialProfile profile(setup.mesh(), {0.5, 0.5, 0.5}, 100, {kDens});
+  const double r_exact = SedovSetup::shock_radius(
+      params.energy, params.rho_ambient, driver.sim_time(), params.gamma);
+  // Coarse grid (level 2): expect the shock within ~12% of analytic.
+  EXPECT_NEAR(profile.peak_radius(0) / r_exact, 1.0, 0.12);
+}
+
+// --------------------------------------------------------------- profiles
+
+TEST(RadialProfileTest, BinsAndAveragesKnownField) {
+  mesh::MeshConfig cfg;
+  cfg.ndim = 2;
+  cfg.nxb = 32;
+  cfg.nyb = 32;
+  cfg.nroot = {2, 2, 1};
+  cfg.maxblocks = 16;
+  mesh::AmrMesh m(cfg, mem::HugePolicy::kNone);
+  // f(r) = r around the domain center.
+  m.for_leaf_cells([&](int b, int i, int j, int k) {
+    const double x = m.xcenter(b, i) - 0.5;
+    const double y = m.ycenter(b, j) - 0.5;
+    m.unk().at(kDens, i, j, k, b) = std::sqrt(x * x + y * y);
+  });
+  RadialProfile profile(m, {0.5, 0.5, 0.0}, 20, {kDens});
+  // Mid-radius bins reproduce f(r) = r.
+  for (int bin = 4; bin < 10; ++bin) {
+    EXPECT_NEAR(profile.value(0, bin) / profile.bin_radius(bin), 1.0, 0.1)
+        << "bin " << bin;
+  }
+}
+
+TEST(RadialProfileTest, SteepestGradientFindsAStep) {
+  mesh::MeshConfig cfg;
+  cfg.ndim = 2;
+  cfg.nxb = 32;
+  cfg.nyb = 32;
+  cfg.nroot = {2, 2, 1};
+  cfg.maxblocks = 16;
+  mesh::AmrMesh m(cfg, mem::HugePolicy::kNone);
+  m.for_leaf_cells([&](int b, int i, int j, int k) {
+    const double x = m.xcenter(b, i) - 0.5;
+    const double y = m.ycenter(b, j) - 0.5;
+    m.unk().at(kDens, i, j, k, b) =
+        std::sqrt(x * x + y * y) < 0.25 ? 5.0 : 1.0;
+  });
+  RadialProfile profile(m, {0.5, 0.5, 0.0}, 25, {kDens});
+  EXPECT_NEAR(profile.steepest_gradient_radius(0), 0.25, 0.04);
+}
+
+// -------------------------------------------------------------- supernova
+
+SupernovaParams small_supernova() {
+  SupernovaParams p;
+  p.max_level = 3;
+  p.maxblocks = 400;
+  p.table_spec = {-4.0, 10.0, 141, 5.0, 10.0, 51};
+  p.table_cache = "helm_table_test.bin";
+  return p;
+}
+
+TEST(SupernovaSetupTest, BuildsAHydrostaticStarWithIgnition) {
+  SupernovaSetup setup(small_supernova(), mem::HugePolicy::kNone);
+  EXPECT_GT(setup.wd().mass() / 1.98847e33, 1.2);
+  mesh::AmrMesh& m = setup.mesh();
+  // Central density on the mesh close to the model's rho_c.
+  double rho_center = 0.0;
+  m.for_leaf_cells([&](int b, int i, int j, int k) {
+    const double r = m.xcenter(b, i);
+    const double z = m.ycenter(b, j);
+    if (std::sqrt(r * r + z * z) < 1.5e7) {
+      rho_center = std::max(rho_center, m.unk().at(kDens, i, j, k, b));
+    }
+  });
+  EXPECT_NEAR(rho_center / 2.0e9, 1.0, 0.1);
+  // The ignition bubble exists.
+  const int vphi = mesh::var::kFirstScalar + snvar::kPhi;
+  EXPECT_GT(m.integrate_product(kDens, vphi), 0.0);
+}
+
+TEST(SupernovaSetupTest, CompositionFunctionMapsMixtures) {
+  double abar = 0, zbar = 0;
+  mixture_composition(1.0, 0.0, 0.0, 0.0, abar, zbar);
+  EXPECT_NEAR(abar, 12.0, 1e-12);
+  EXPECT_NEAR(zbar, 6.0, 1e-12);
+  mixture_composition(0.5, 0.5, 0.0, 0.0, abar, zbar);
+  EXPECT_NEAR(abar, 1.0 / (0.5 / 12 + 0.5 / 16), 1e-12);
+  EXPECT_NEAR(zbar / abar, 0.5, 1e-12);  // Ye = 0.5 for both C and O
+}
+
+TEST(SupernovaEvolution, FiftyStepFlameReleasesEnergy) {
+  SupernovaSetup setup(small_supernova(), mem::HugePolicy::kNone);
+  mesh::AmrMesh& m = setup.mesh();
+  hydro::HydroOptions hopt;
+  hopt.cfl = 0.6;
+  hydro::HydroSolver hydro(m, setup.eos(), hopt);
+  hydro.set_composition_fn(setup.composition_fn());
+  perf::Timers timers;
+  DriverOptions opts;
+  opts.nsteps = 15;
+  opts.trace_sample = 0;
+  opts.verbose = false;
+  opts.refine_vars = {kDens, mesh::var::kFirstScalar + snvar::kPhi};
+  Driver driver(m, hydro, timers, opts);
+  driver.set_flame(&setup.flame());
+  driver.set_gravity(&setup.gravity());
+
+  const double mass0 = m.integrate(kDens);
+  driver.evolve();
+  EXPECT_EQ(driver.steps(), 15);
+  EXPECT_GT(setup.flame().energy_released(), 1e45);  // burning happened
+  EXPECT_NEAR(m.integrate(kDens) / mass0, 1.0, 1e-6);
+  // The star did not explode numerically: central density stays WD-like.
+  double rho_max = 0.0;
+  m.for_leaf_cells([&](int b, int i, int j, int k) {
+    rho_max = std::max(rho_max, m.unk().at(kDens, i, j, k, b));
+  });
+  EXPECT_GT(rho_max, 1.0e8);
+  EXPECT_LT(rho_max, 1.0e10);
+}
+
+// --------------------------------------------- reproduction invariants
+
+/// The paper's headline shape, in miniature: with huge pages the EOS
+/// region's DTLB miss rate collapses while its runtime barely moves.
+TEST(ReproductionShape, HugePagesCutEosDtlbMissesButNotTime) {
+  auto run_arm = [](mem::HugePolicy policy) {
+    perf::SoftCounters::instance().reset();
+    perf::RegionRegistry::instance().reset();
+    SupernovaParams p;
+    p.max_level = 3;
+    p.maxblocks = 400;
+    // nrho must stay FLASH-sized (rows > one 4 KiB page) for the gather
+    // pattern to be faithful; the T range is trimmed for build speed.
+    p.table_spec = {-4.0, 10.0, 541, 5.0, 10.0, 41};
+    p.table_cache = "helm_table_shape.bin";
+    SupernovaSetup setup(p, policy);
+    mesh::AmrMesh& m = setup.mesh();
+    hydro::HydroOptions hopt;
+    hopt.cfl = 0.6;
+    hydro::HydroSolver hydro(m, setup.eos(), hopt);
+    hydro.set_composition_fn(setup.composition_fn());
+    perf::Timers timers;
+    tlb::Machine machine;
+    DriverOptions opts;
+    opts.nsteps = 8;
+    opts.trace_sample = 2;
+    opts.verbose = false;
+    Driver driver(m, hydro, timers, opts);
+    driver.set_flame(&setup.flame());
+    driver.set_gravity(&setup.gravity());
+    driver.set_machine(&machine);
+    driver.set_eos_trace(
+        [&setup](tlb::Tracer& t, int b) { setup.trace_eos_block(t, b); });
+    driver.evolve();
+    return perf::derive_measures(
+        perf::RegionRegistry::instance().get("eos").totals, 1.8e9);
+  };
+
+  const auto without = run_arm(mem::HugePolicy::kNone);
+  const auto with = run_arm(mem::HugePolicy::kHugetlbfs);
+  ASSERT_GT(without.dtlb_misses_per_s, 0.0);
+  const double dtlb_ratio =
+      with.dtlb_misses_per_s / without.dtlb_misses_per_s;
+  const double time_ratio = with.time_seconds / without.time_seconds;
+
+  // The reproduction bands (paper: 0.047 and 0.935). If the kernel
+  // granted no huge pages the ratios sit at 1 and the test cannot judge
+  // the model — skip rather than fail.
+  if (dtlb_ratio > 0.95) {
+    GTEST_SKIP() << "no huge pages obtainable on this system";
+  }
+  EXPECT_LT(dtlb_ratio, 0.3);
+  EXPECT_GT(time_ratio, 0.8);
+  EXPECT_LT(time_ratio, 1.02);
+}
+
+/// The paper's negative result, §IV: policy `none` and a THP request on
+/// a kernel that refuses promotion both end up on base pages — and the
+/// library reports that honestly instead of assuming success.
+TEST(ReproductionShape, BackingIsVerifiedNotAssumed) {
+  mem::MapRequest req;
+  req.bytes = 8u << 20;
+  req.policy = mem::HugePolicy::kThp;
+  mem::MappedRegion region(req);
+  const auto rollup_huge = region.resident_huge_bytes();
+  if (rollup_huge == 0) {
+    // THP declined (the paper's GNU/Cray mystery, reproduced by this
+    // kernel): the effective translation page must be the base page.
+    EXPECT_EQ(tlb::effective_page_shift(region), 12);
+  } else {
+    EXPECT_EQ(tlb::effective_page_shift(region), 21);
+  }
+}
+
+}  // namespace
+}  // namespace fhp::sim

@@ -1,0 +1,328 @@
+/// \file test_tlb.cpp
+/// \brief Unit and property tests for the TLB/cache/core machine model.
+
+#include <gtest/gtest.h>
+
+#include "perf/soft_counters.hpp"
+#include "support/error.hpp"
+#include "mem/page_size.hpp"
+#include "tlb/cache_model.hpp"
+#include "tlb/machine.hpp"
+#include "tlb/tlb_model.hpp"
+#include "tlb/trace.hpp"
+
+namespace fhp::tlb {
+namespace {
+
+// -------------------------------------------------------------- TLB model
+
+TEST(TlbModelTest, HitAfterInstall) {
+  TlbModel tlb({4, 0});  // 4-entry fully associative
+  EXPECT_FALSE(tlb.access(0x1000, kShift4K));  // compulsory miss
+  EXPECT_TRUE(tlb.access(0x1000, kShift4K));
+  EXPECT_TRUE(tlb.access(0x1fff, kShift4K));  // same page
+  EXPECT_FALSE(tlb.access(0x2000, kShift4K)); // next page
+  EXPECT_EQ(tlb.hits(), 2u);
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(TlbModelTest, CapacityEviction) {
+  TlbModel tlb({4, 0});
+  for (std::uint64_t p = 0; p < 5; ++p) {
+    tlb.access(p << kShift4K, kShift4K);
+  }
+  // 5 pages through 4 entries: at least one of the originals is gone.
+  int resident = 0;
+  for (std::uint64_t p = 0; p < 5; ++p) {
+    if (tlb.contains(p << kShift4K, kShift4K)) ++resident;
+  }
+  EXPECT_EQ(resident, 4);
+}
+
+TEST(TlbModelTest, PageSizesAreDistinctEntries) {
+  TlbModel tlb({8, 0});
+  tlb.access(0x200000, kShift4K);
+  EXPECT_FALSE(tlb.contains(0x200000, kShift2M));
+  tlb.access(0x200000, kShift2M);
+  EXPECT_TRUE(tlb.contains(0x200000, kShift4K));
+  EXPECT_TRUE(tlb.contains(0x200000, kShift2M));
+}
+
+TEST(TlbModelTest, HugePageCoversWideRange) {
+  TlbModel tlb({4, 0});
+  tlb.access(0x40000000, kShift2M);
+  // Anywhere within the same 2 MiB frame hits.
+  EXPECT_TRUE(tlb.access(0x40000000 + (1 << 20), kShift2M));
+  EXPECT_TRUE(tlb.access(0x40000000 + (2 << 20) - 1, kShift2M));
+  EXPECT_FALSE(tlb.access(0x40000000 + (2 << 20), kShift2M));
+}
+
+TEST(TlbModelTest, FlushEmptiesEverything) {
+  TlbModel tlb({4, 0});
+  tlb.access(0x1000, kShift4K);
+  tlb.flush();
+  EXPECT_FALSE(tlb.contains(0x1000, kShift4K));
+}
+
+TEST(TlbModelTest, SetAssociativeMapsByVpnBits) {
+  TlbModel tlb({8, 2});  // 4 sets x 2 ways
+  EXPECT_EQ(tlb.sets(), 4u);
+  EXPECT_EQ(tlb.ways(), 2u);
+  // Pages 0, 4, 8 share set 0 (vpn & 3 == 0); two fit, the third evicts.
+  tlb.access(0ull << kShift4K, kShift4K);
+  tlb.access(4ull << kShift4K, kShift4K);
+  tlb.access(8ull << kShift4K, kShift4K);
+  int resident = 0;
+  for (std::uint64_t p : {0ull, 4ull, 8ull}) {
+    if (tlb.contains(p << kShift4K, kShift4K)) ++resident;
+  }
+  EXPECT_EQ(resident, 2);
+  // A page in another set is untouched by that conflict.
+  tlb.access(1ull << kShift4K, kShift4K);
+  EXPECT_TRUE(tlb.contains(1ull << kShift4K, kShift4K));
+}
+
+TEST(TlbModelTest, GeometryValidation) {
+  EXPECT_THROW(TlbModel({0, 0}), ConfigError);
+  EXPECT_THROW(TlbModel({7, 2}), ConfigError);   // 7 % 2 != 0
+  EXPECT_THROW(TlbModel({24, 2}), ConfigError);  // 12 sets: not a pow2
+  TlbModel ok({48, 0});                           // A64FX L1 shape
+  EXPECT_EQ(ok.sets(), 1u);
+  EXPECT_EQ(ok.ways(), 48u);
+}
+
+/// Property: for a fixed strided stream, misses never increase when the
+/// page size grows (the monotonicity the whole paper rests on).
+class TlbPageSizeMonotonicity : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(TlbPageSizeMonotonicity, MissesMonotoneInPageSize) {
+  const std::size_t stride = GetParam();
+  std::uint64_t prev_misses = ~0ull;
+  for (const std::uint8_t shift : {kShift4K, kShift64K, kShift2M,
+                                   kShift512M}) {
+    TlbModel tlb({48, 0});
+    std::uint64_t addr = 0;
+    for (int n = 0; n < 50000; ++n) {
+      tlb.access(addr, shift);
+      addr += stride;
+      if (addr >= (512u << 20)) addr = 0;
+    }
+    EXPECT_LE(tlb.misses(), prev_misses) << "stride " << stride << " shift "
+                                         << int(shift);
+    prev_misses = tlb.misses();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, TlbPageSizeMonotonicity,
+                         ::testing::Values(64, 256, 4096, 9000, 65536,
+                                           120000, 1 << 20, 5u << 20));
+
+/// Property: sequential access misses exactly once per page.
+class TlbSequentialCompulsory : public ::testing::TestWithParam<int> {};
+
+TEST_P(TlbSequentialCompulsory, OneMissPerPage) {
+  const int npages = GetParam();
+  TlbModel tlb({1024, 4});
+  const std::size_t line = 256;
+  for (std::uint64_t addr = 0;
+       addr < static_cast<std::uint64_t>(npages) << kShift4K; addr += line) {
+    tlb.access(addr, kShift4K);
+  }
+  EXPECT_EQ(tlb.misses(), static_cast<std::uint64_t>(npages));
+}
+
+INSTANTIATE_TEST_SUITE_P(PageCounts, TlbSequentialCompulsory,
+                         ::testing::Values(1, 16, 256, 1024));
+
+// ------------------------------------------------------------- cache model
+
+TEST(CacheModelTest, HitAfterFill) {
+  CacheModel cache({1024, 2, 64});  // 8 sets x 2 ways of 64 B lines
+  EXPECT_FALSE(cache.access(0x100, false).hit);
+  EXPECT_TRUE(cache.access(0x100, false).hit);
+  EXPECT_TRUE(cache.access(0x13f, false).hit);   // same line
+  EXPECT_FALSE(cache.access(0x140, false).hit);  // next line
+}
+
+TEST(CacheModelTest, WritebackOnDirtyEviction) {
+  CacheModel cache({128, 1, 64});  // direct-mapped, 2 sets
+  cache.access(0x000, true);            // dirty line in set 0
+  const CacheResult r = cache.access(0x080, false);  // set 0 conflict
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(cache.writebacks(), 1u);
+  // Evicting a clean line does not write back.
+  const CacheResult r2 = cache.access(0x100, false);
+  EXPECT_FALSE(r2.writeback);
+}
+
+TEST(CacheModelTest, LruKeepsRecentlyUsed) {
+  CacheModel cache({128, 2, 64});  // 1 set x 2 ways
+  cache.access(0x000, false);
+  cache.access(0x040, false);
+  cache.access(0x000, false);      // refresh line 0
+  cache.access(0x080, false);      // evicts LRU = line at 0x040
+  EXPECT_TRUE(cache.contains(0x000));
+  EXPECT_FALSE(cache.contains(0x040));
+}
+
+TEST(CacheModelTest, GeometryValidation) {
+  EXPECT_THROW(CacheModel({1024, 0, 64}), ConfigError);
+  EXPECT_THROW(CacheModel({1024, 2, 63}), ConfigError);
+  EXPECT_THROW(CacheModel({64, 2, 64}), ConfigError);  // 0.5 sets
+}
+
+TEST(CacheModelTest, FlushDropsDirtyState) {
+  CacheModel cache({128, 2, 64});
+  cache.access(0x000, true);
+  cache.flush();
+  EXPECT_FALSE(cache.contains(0x000));
+  const CacheResult r = cache.access(0x080, false);
+  EXPECT_FALSE(r.writeback);  // dirty bit did not survive the flush
+}
+
+// ---------------------------------------------------------------- machine
+
+TEST(MachineTest, TouchSplitsIntoLines) {
+  Machine machine;
+  // 600 bytes starting at offset 0x80 span lines 0x10000/0x10100/0x10200.
+  machine.touch(reinterpret_cast<void*>(0x10080), 600, false, kShift4K);
+  EXPECT_EQ(machine.quantum().accesses, 3u);
+}
+
+TEST(MachineTest, ComputeOnlyQuantumCostsComputeCycles) {
+  MachineParams params;
+  Machine machine(params);
+  machine.compute(2000, 1000);
+  const double cycles = machine.model_cycles(machine.quantum());
+  EXPECT_DOUBLE_EQ(cycles, 2000.0 / params.scalar_ops_per_cycle +
+                               1000.0 / params.vector_ops_per_cycle);
+}
+
+TEST(MachineTest, BandwidthBoundQuantum) {
+  MachineParams params;
+  params.latency_overlap = 1.0;  // isolate the bandwidth term
+  params.walk_overlap = 1.0;
+  params.l2_tlb_hit_overlap = 1.0;
+  Machine machine(params);
+  // Stream far more data than compute: cycles == bytes / bw.
+  for (std::uint64_t a = 0; a < (64u << 20); a += 256) {
+    machine.touch(reinterpret_cast<void*>(0x100000000ull + a), 256, false,
+                  kShift2M);
+  }
+  const auto& q = machine.quantum();
+  ASSERT_GT(q.l2_misses, 0u);
+  const double expected =
+      static_cast<double>(q.bytes_read(256)) / params.mem_bytes_per_cycle;
+  EXPECT_NEAR(machine.model_cycles(q), expected, expected * 1e-9);
+}
+
+TEST(MachineTest, WalkCyclesChargedWhenNotOverlapped) {
+  MachineParams params;
+  params.walk_overlap = 0.0;  // nothing hidden
+  params.l2_tlb_hit_overlap = 0.0;
+  Machine machine(params);
+  QuantumStats q;
+  q.walks = 10;
+  q.l1_tlb_misses = 10;  // all missed both levels
+  const double cycles = machine.model_cycles(q);
+  EXPECT_DOUBLE_EQ(cycles, 10.0 * params.walk_cycles);
+}
+
+TEST(MachineTest, CommitPublishesScaledCounters) {
+  perf::SoftCounters::instance().reset();
+  MachineParams params;
+  params.background_miss_per_cycle = 0.0;
+  Machine machine(params);
+  machine.compute(100, 50);
+  machine.touch(reinterpret_cast<void*>(0x20000), 8, false, kShift4K);
+  machine.commit(/*scale=*/4);
+  const auto s = perf::SoftCounters::instance().snapshot();
+  EXPECT_EQ(s[perf::Event::kVectorOps], 200u);           // 50 * 4
+  EXPECT_EQ(s[perf::Event::kDtlbMisses], 4u);            // 1 L1 miss * 4
+  EXPECT_GT(s[perf::Event::kCycles], 0u);
+  // The quantum was reset but the structural state persists.
+  EXPECT_EQ(machine.quantum().accesses, 0u);
+  perf::SoftCounters::instance().reset();
+}
+
+TEST(MachineTest, BackgroundFloorProducesMisses) {
+  perf::SoftCounters::instance().reset();
+  MachineParams params;  // default floor
+  Machine machine(params);
+  machine.compute(1800000, 0);  // ~0.9M cycles
+  machine.commit(1);
+  const auto s = perf::SoftCounters::instance().snapshot();
+  const double cycles = static_cast<double>(s[perf::Event::kCycles]);
+  const double misses = static_cast<double>(s[perf::Event::kDtlbMisses]);
+  EXPECT_NEAR(misses / cycles, params.background_miss_per_cycle,
+              params.background_miss_per_cycle * 0.05);
+  perf::SoftCounters::instance().reset();
+}
+
+TEST(MachineTest, ResetClearsStructuresAndTotals) {
+  Machine machine;
+  machine.touch(reinterpret_cast<void*>(0x1000), 8, false, kShift4K);
+  machine.commit();
+  machine.reset();
+  EXPECT_EQ(machine.total_cycles(), 0.0);
+  // After reset the same page misses again (structures were flushed).
+  machine.touch(reinterpret_cast<void*>(0x1000), 8, false, kShift4K);
+  EXPECT_EQ(machine.quantum().l1_tlb_misses, 1u);
+}
+
+/// The headline mechanism, in miniature: a strided sweep over a working
+/// set larger than the L1 TLB's 4 KiB reach misses hard at 4 KiB pages
+/// and barely at 2 MiB.
+TEST(MachineTest, HugePagesCollapseStridedMisses) {
+  auto run = [](std::uint8_t shift) {
+    Machine machine;
+    // unk-like: 2.9 KiB stride (nvar*ni*8), 64 MiB working set, 3 passes.
+    for (int pass = 0; pass < 3; ++pass) {
+      for (std::uint64_t a = 0; a < (64u << 20); a += 2880) {
+        machine.touch(reinterpret_cast<void*>(0x200000000ull + a), 120,
+                      false, shift);
+      }
+    }
+    return machine.quantum().l1_tlb_misses;
+  };
+  const auto misses_4k = run(kShift4K);
+  const auto misses_2m = run(kShift2M);
+  EXPECT_GT(misses_4k, 20u * misses_2m);
+}
+
+// ------------------------------------------------------------------ tracer
+
+TEST(TracerTest, DisabledTracerIsInert) {
+  Tracer tracer;  // no machine
+  EXPECT_FALSE(tracer.enabled());
+  tracer.touch(reinterpret_cast<void*>(0x1000), 64, true, kShift4K);
+  tracer.compute(100, 100);  // must not crash
+}
+
+TEST(TracerTest, EnabledTracerForwards) {
+  Machine machine;
+  Tracer tracer(&machine);
+  ASSERT_TRUE(tracer.enabled());
+  tracer.touch(reinterpret_cast<void*>(0x1000), 64, true, kShift4K);
+  tracer.compute(10, 20);
+  EXPECT_EQ(machine.quantum().accesses, 1u);
+  EXPECT_EQ(machine.quantum().scalar_ops, 10u);
+  EXPECT_EQ(machine.quantum().vector_ops, 20u);
+}
+
+TEST(EffectivePageShiftTest, SmallAndHugetlbRegions) {
+  mem::MapRequest req;
+  req.bytes = 2u << 20;
+  req.policy = mem::HugePolicy::kNone;
+  mem::MappedRegion small(req);
+  EXPECT_EQ(effective_page_shift(small), page_shift_of(mem::base_page_size()));
+
+  const mem::MappedRegion unmapped;
+  EXPECT_EQ(effective_page_shift(unmapped),
+            page_shift_of(mem::base_page_size()));
+}
+
+}  // namespace
+}  // namespace fhp::tlb
