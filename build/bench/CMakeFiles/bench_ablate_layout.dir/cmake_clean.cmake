@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_layout.dir/bench_ablate_layout.cpp.o"
+  "CMakeFiles/bench_ablate_layout.dir/bench_ablate_layout.cpp.o.d"
+  "bench_ablate_layout"
+  "bench_ablate_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_pagesize.dir/bench_ablate_pagesize.cpp.o"
+  "CMakeFiles/bench_ablate_pagesize.dir/bench_ablate_pagesize.cpp.o.d"
+  "bench_ablate_pagesize"
+  "bench_ablate_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

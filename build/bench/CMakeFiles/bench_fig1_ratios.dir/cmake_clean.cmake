@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ratios.dir/bench_fig1_ratios.cpp.o"
+  "CMakeFiles/bench_fig1_ratios.dir/bench_fig1_ratios.cpp.o.d"
+  "bench_fig1_ratios"
+  "bench_fig1_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sumtest.dir/bench_sumtest.cpp.o"
+  "CMakeFiles/bench_sumtest.dir/bench_sumtest.cpp.o.d"
+  "bench_sumtest"
+  "bench_sumtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sumtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_eos.dir/bench_table1_eos.cpp.o"
+  "CMakeFiles/bench_table1_eos.dir/bench_table1_eos.cpp.o.d"
+  "bench_table1_eos"
+  "bench_table1_eos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_eos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

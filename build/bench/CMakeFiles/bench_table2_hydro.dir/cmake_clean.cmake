@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hydro.dir/bench_table2_hydro.cpp.o"
+  "CMakeFiles/bench_table2_hydro.dir/bench_table2_hydro.cpp.o.d"
+  "bench_table2_hydro"
+  "bench_table2_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hugectl.dir/hugectl.cpp.o"
+  "CMakeFiles/hugectl.dir/hugectl.cpp.o.d"
+  "hugectl"
+  "hugectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hugectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedov3d.dir/sedov3d.cpp.o"
+  "CMakeFiles/sedov3d.dir/sedov3d.cpp.o.d"
+  "sedov3d"
+  "sedov3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedov3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

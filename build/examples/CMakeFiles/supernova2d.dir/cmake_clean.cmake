@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernova2d.dir/supernova2d.cpp.o"
+  "CMakeFiles/supernova2d.dir/supernova2d.cpp.o.d"
+  "supernova2d"
+  "supernova2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernova2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_eos.dir/eos_table.cpp.o"
+  "CMakeFiles/fhp_eos.dir/eos_table.cpp.o.d"
+  "CMakeFiles/fhp_eos.dir/fermi_dirac.cpp.o"
+  "CMakeFiles/fhp_eos.dir/fermi_dirac.cpp.o.d"
+  "CMakeFiles/fhp_eos.dir/gamma_eos.cpp.o"
+  "CMakeFiles/fhp_eos.dir/gamma_eos.cpp.o.d"
+  "CMakeFiles/fhp_eos.dir/helmholtz_eos.cpp.o"
+  "CMakeFiles/fhp_eos.dir/helmholtz_eos.cpp.o.d"
+  "libfhp_eos.a"
+  "libfhp_eos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_eos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_flame.dir/adr.cpp.o"
+  "CMakeFiles/fhp_flame.dir/adr.cpp.o.d"
+  "CMakeFiles/fhp_flame.dir/flame_speed.cpp.o"
+  "CMakeFiles/fhp_flame.dir/flame_speed.cpp.o.d"
+  "libfhp_flame.a"
+  "libfhp_flame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_flame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_gravity.dir/monopole.cpp.o"
+  "CMakeFiles/fhp_gravity.dir/monopole.cpp.o.d"
+  "CMakeFiles/fhp_gravity.dir/white_dwarf.cpp.o"
+  "CMakeFiles/fhp_gravity.dir/white_dwarf.cpp.o.d"
+  "libfhp_gravity.a"
+  "libfhp_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_hydro.dir/hydro.cpp.o"
+  "CMakeFiles/fhp_hydro.dir/hydro.cpp.o.d"
+  "CMakeFiles/fhp_hydro.dir/riemann.cpp.o"
+  "CMakeFiles/fhp_hydro.dir/riemann.cpp.o.d"
+  "libfhp_hydro.a"
+  "libfhp_hydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_hydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

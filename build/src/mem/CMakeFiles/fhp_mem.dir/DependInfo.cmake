@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/arena.cpp" "src/mem/CMakeFiles/fhp_mem.dir/arena.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/arena.cpp.o.d"
+  "/root/repo/src/mem/huge_policy.cpp" "src/mem/CMakeFiles/fhp_mem.dir/huge_policy.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/huge_policy.cpp.o.d"
+  "/root/repo/src/mem/hugeadm.cpp" "src/mem/CMakeFiles/fhp_mem.dir/hugeadm.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/hugeadm.cpp.o.d"
+  "/root/repo/src/mem/mapped_region.cpp" "src/mem/CMakeFiles/fhp_mem.dir/mapped_region.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/mapped_region.cpp.o.d"
+  "/root/repo/src/mem/meminfo.cpp" "src/mem/CMakeFiles/fhp_mem.dir/meminfo.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/meminfo.cpp.o.d"
+  "/root/repo/src/mem/page_size.cpp" "src/mem/CMakeFiles/fhp_mem.dir/page_size.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/page_size.cpp.o.d"
+  "/root/repo/src/mem/thp.cpp" "src/mem/CMakeFiles/fhp_mem.dir/thp.cpp.o" "gcc" "src/mem/CMakeFiles/fhp_mem.dir/thp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

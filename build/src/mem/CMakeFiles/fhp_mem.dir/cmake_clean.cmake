@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_mem.dir/arena.cpp.o"
+  "CMakeFiles/fhp_mem.dir/arena.cpp.o.d"
+  "CMakeFiles/fhp_mem.dir/huge_policy.cpp.o"
+  "CMakeFiles/fhp_mem.dir/huge_policy.cpp.o.d"
+  "CMakeFiles/fhp_mem.dir/hugeadm.cpp.o"
+  "CMakeFiles/fhp_mem.dir/hugeadm.cpp.o.d"
+  "CMakeFiles/fhp_mem.dir/mapped_region.cpp.o"
+  "CMakeFiles/fhp_mem.dir/mapped_region.cpp.o.d"
+  "CMakeFiles/fhp_mem.dir/meminfo.cpp.o"
+  "CMakeFiles/fhp_mem.dir/meminfo.cpp.o.d"
+  "CMakeFiles/fhp_mem.dir/page_size.cpp.o"
+  "CMakeFiles/fhp_mem.dir/page_size.cpp.o.d"
+  "CMakeFiles/fhp_mem.dir/thp.cpp.o"
+  "CMakeFiles/fhp_mem.dir/thp.cpp.o.d"
+  "libfhp_mem.a"
+  "libfhp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/amr_mesh.cpp" "src/mesh/CMakeFiles/fhp_mesh.dir/amr_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/fhp_mesh.dir/amr_mesh.cpp.o.d"
+  "/root/repo/src/mesh/tree.cpp" "src/mesh/CMakeFiles/fhp_mesh.dir/tree.cpp.o" "gcc" "src/mesh/CMakeFiles/fhp_mesh.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fhp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fhp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/fhp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/fhp_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_mesh.dir/amr_mesh.cpp.o"
+  "CMakeFiles/fhp_mesh.dir/amr_mesh.cpp.o.d"
+  "CMakeFiles/fhp_mesh.dir/tree.cpp.o"
+  "CMakeFiles/fhp_mesh.dir/tree.cpp.o.d"
+  "libfhp_mesh.a"
+  "libfhp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/events.cpp" "src/perf/CMakeFiles/fhp_perf.dir/events.cpp.o" "gcc" "src/perf/CMakeFiles/fhp_perf.dir/events.cpp.o.d"
+  "/root/repo/src/perf/perf_event_backend.cpp" "src/perf/CMakeFiles/fhp_perf.dir/perf_event_backend.cpp.o" "gcc" "src/perf/CMakeFiles/fhp_perf.dir/perf_event_backend.cpp.o.d"
+  "/root/repo/src/perf/region.cpp" "src/perf/CMakeFiles/fhp_perf.dir/region.cpp.o" "gcc" "src/perf/CMakeFiles/fhp_perf.dir/region.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/perf/CMakeFiles/fhp_perf.dir/report.cpp.o" "gcc" "src/perf/CMakeFiles/fhp_perf.dir/report.cpp.o.d"
+  "/root/repo/src/perf/soft_counters.cpp" "src/perf/CMakeFiles/fhp_perf.dir/soft_counters.cpp.o" "gcc" "src/perf/CMakeFiles/fhp_perf.dir/soft_counters.cpp.o.d"
+  "/root/repo/src/perf/timers.cpp" "src/perf/CMakeFiles/fhp_perf.dir/timers.cpp.o" "gcc" "src/perf/CMakeFiles/fhp_perf.dir/timers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_perf.dir/events.cpp.o"
+  "CMakeFiles/fhp_perf.dir/events.cpp.o.d"
+  "CMakeFiles/fhp_perf.dir/perf_event_backend.cpp.o"
+  "CMakeFiles/fhp_perf.dir/perf_event_backend.cpp.o.d"
+  "CMakeFiles/fhp_perf.dir/region.cpp.o"
+  "CMakeFiles/fhp_perf.dir/region.cpp.o.d"
+  "CMakeFiles/fhp_perf.dir/report.cpp.o"
+  "CMakeFiles/fhp_perf.dir/report.cpp.o.d"
+  "CMakeFiles/fhp_perf.dir/soft_counters.cpp.o"
+  "CMakeFiles/fhp_perf.dir/soft_counters.cpp.o.d"
+  "CMakeFiles/fhp_perf.dir/timers.cpp.o"
+  "CMakeFiles/fhp_perf.dir/timers.cpp.o.d"
+  "libfhp_perf.a"
+  "libfhp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_sim.dir/checkpoint.cpp.o"
+  "CMakeFiles/fhp_sim.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fhp_sim.dir/driver.cpp.o"
+  "CMakeFiles/fhp_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/fhp_sim.dir/profiles.cpp.o"
+  "CMakeFiles/fhp_sim.dir/profiles.cpp.o.d"
+  "CMakeFiles/fhp_sim.dir/sedov.cpp.o"
+  "CMakeFiles/fhp_sim.dir/sedov.cpp.o.d"
+  "CMakeFiles/fhp_sim.dir/sedov_exact.cpp.o"
+  "CMakeFiles/fhp_sim.dir/sedov_exact.cpp.o.d"
+  "CMakeFiles/fhp_sim.dir/supernova.cpp.o"
+  "CMakeFiles/fhp_sim.dir/supernova.cpp.o.d"
+  "libfhp_sim.a"
+  "libfhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfhp_sim.a"
+)

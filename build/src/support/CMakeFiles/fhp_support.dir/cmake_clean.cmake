@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_support.dir/error.cpp.o"
+  "CMakeFiles/fhp_support.dir/error.cpp.o.d"
+  "CMakeFiles/fhp_support.dir/log.cpp.o"
+  "CMakeFiles/fhp_support.dir/log.cpp.o.d"
+  "CMakeFiles/fhp_support.dir/rng.cpp.o"
+  "CMakeFiles/fhp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/fhp_support.dir/runtime_params.cpp.o"
+  "CMakeFiles/fhp_support.dir/runtime_params.cpp.o.d"
+  "CMakeFiles/fhp_support.dir/string_util.cpp.o"
+  "CMakeFiles/fhp_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/fhp_support.dir/table_writer.cpp.o"
+  "CMakeFiles/fhp_support.dir/table_writer.cpp.o.d"
+  "libfhp_support.a"
+  "libfhp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

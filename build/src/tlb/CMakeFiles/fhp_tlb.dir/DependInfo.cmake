@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/cache_model.cpp" "src/tlb/CMakeFiles/fhp_tlb.dir/cache_model.cpp.o" "gcc" "src/tlb/CMakeFiles/fhp_tlb.dir/cache_model.cpp.o.d"
+  "/root/repo/src/tlb/machine.cpp" "src/tlb/CMakeFiles/fhp_tlb.dir/machine.cpp.o" "gcc" "src/tlb/CMakeFiles/fhp_tlb.dir/machine.cpp.o.d"
+  "/root/repo/src/tlb/tlb_model.cpp" "src/tlb/CMakeFiles/fhp_tlb.dir/tlb_model.cpp.o" "gcc" "src/tlb/CMakeFiles/fhp_tlb.dir/tlb_model.cpp.o.d"
+  "/root/repo/src/tlb/trace.cpp" "src/tlb/CMakeFiles/fhp_tlb.dir/trace.cpp.o" "gcc" "src/tlb/CMakeFiles/fhp_tlb.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fhp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/fhp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fhp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhp_tlb.dir/cache_model.cpp.o"
+  "CMakeFiles/fhp_tlb.dir/cache_model.cpp.o.d"
+  "CMakeFiles/fhp_tlb.dir/machine.cpp.o"
+  "CMakeFiles/fhp_tlb.dir/machine.cpp.o.d"
+  "CMakeFiles/fhp_tlb.dir/tlb_model.cpp.o"
+  "CMakeFiles/fhp_tlb.dir/tlb_model.cpp.o.d"
+  "CMakeFiles/fhp_tlb.dir/trace.cpp.o"
+  "CMakeFiles/fhp_tlb.dir/trace.cpp.o.d"
+  "libfhp_tlb.a"
+  "libfhp_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhp_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_exact.dir/test_checkpoint_exact.cpp.o"
+  "CMakeFiles/test_checkpoint_exact.dir/test_checkpoint_exact.cpp.o.d"
+  "test_checkpoint_exact"
+  "test_checkpoint_exact.pdb"
+  "test_checkpoint_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eos.dir/test_eos.cpp.o"
+  "CMakeFiles/test_eos.dir/test_eos.cpp.o.d"
+  "test_eos"
+  "test_eos.pdb"
+  "test_eos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

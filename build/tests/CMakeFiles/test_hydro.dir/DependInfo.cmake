@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hydro.cpp" "tests/CMakeFiles/test_hydro.dir/test_hydro.cpp.o" "gcc" "tests/CMakeFiles/test_hydro.dir/test_hydro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydro/CMakeFiles/fhp_hydro.dir/DependInfo.cmake"
+  "/root/repo/build/src/flame/CMakeFiles/fhp_flame.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/fhp_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/eos/CMakeFiles/fhp_eos.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/fhp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/fhp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/fhp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fhp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fhp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
