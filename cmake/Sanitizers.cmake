@@ -1,0 +1,48 @@
+# Sanitizer support: set FLASHHP_SANITIZE to a semicolon-separated list of
+#   address;undefined   (the `asan-ubsan` preset)
+#   thread              (the `tsan` preset)
+#   leak
+# Flags are applied globally (compile + link) so every target — library,
+# test, bench, example — runs under the same instrumentation; mixing
+# sanitized and unsanitized TUs produces false negatives.
+#
+# UBSan runs with -fno-sanitize-recover so any report fails the test that
+# triggered it: "zero sanitizer reports" is enforced by ctest, not by
+# somebody reading logs (the paper's lesson about trusting silent tools).
+
+set(FLASHHP_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers: address;undefined;thread;leak")
+
+if(FLASHHP_SANITIZE)
+  set(_fhp_san_list "")
+  foreach(_san IN LISTS FLASHHP_SANITIZE)
+    string(TOLOWER "${_san}" _san)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+        "FLASHHP_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected address, undefined, thread or leak)")
+    endif()
+    list(APPEND _fhp_san_list "${_san}")
+  endforeach()
+
+  if("thread" IN_LIST _fhp_san_list AND
+     ("address" IN_LIST _fhp_san_list OR "leak" IN_LIST _fhp_san_list))
+    message(FATAL_ERROR
+      "FLASHHP_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+
+  list(JOIN _fhp_san_list "," _fhp_san_joined)
+  message(STATUS "flashhp: sanitizers enabled: ${_fhp_san_joined}")
+
+  add_compile_options(
+    -fsanitize=${_fhp_san_joined}
+    -fno-omit-frame-pointer
+    -fno-optimize-sibling-calls)
+  add_link_options(-fsanitize=${_fhp_san_joined})
+
+  if("undefined" IN_LIST _fhp_san_list)
+    # Abort on the first UB report instead of logging and continuing.
+    add_compile_options(-fno-sanitize-recover=undefined)
+    add_link_options(-fno-sanitize-recover=undefined)
+  endif()
+endif()

@@ -1,0 +1,46 @@
+# Static-analysis targets:
+#
+#   tidy  — clang-tidy over every first-party translation unit using the
+#           checks in .clang-tidy and the compile_commands.json of this
+#           build tree. Configured only when clang-tidy is installed;
+#           otherwise a stub target explains what is missing instead of
+#           silently "passing".
+#   lint  — the flashhp repo linter (tools/flashhp_lint.py): huge-page
+#           invariants the compiler cannot check. Always available (only
+#           needs a Python 3 interpreter) and also registered as a ctest
+#           case from tests/CMakeLists.txt.
+
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+find_program(CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+                                  clang-tidy-16 clang-tidy-15)
+
+if(CLANG_TIDY_EXE)
+  file(GLOB_RECURSE FLASHHP_TIDY_SOURCES CONFIGURE_DEPENDS
+    ${CMAKE_SOURCE_DIR}/src/*.cpp)
+  add_custom_target(tidy
+    COMMAND ${CLANG_TIDY_EXE}
+      -p ${CMAKE_BINARY_DIR}
+      --warnings-as-errors=*
+      ${FLASHHP_TIDY_SOURCES}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "clang-tidy (checks from .clang-tidy)"
+    VERBATIM)
+else()
+  add_custom_target(tidy
+    COMMAND ${CMAKE_COMMAND} -E echo
+      "clang-tidy not found: install clang-tidy and re-run cmake"
+    COMMAND ${CMAKE_COMMAND} -E false
+    COMMENT "clang-tidy unavailable"
+    VERBATIM)
+endif()
+
+find_package(Python3 COMPONENTS Interpreter)
+if(Python3_Interpreter_FOUND)
+  add_custom_target(lint
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/flashhp_lint.py
+      --root ${CMAKE_SOURCE_DIR}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "flashhp_lint.py (huge-page invariant linter)"
+    VERBATIM)
+endif()

@@ -34,19 +34,25 @@ inline void hermite_deriv(double t, double d0[2], double d1[2]) noexcept {
   d1[1] = 3 * t2 - 2 * t;
 }
 
-}  // namespace
-
-HelmTable::HelmTable(const HelmTableSpec& spec, mem::HugePolicy policy)
-    : spec_(spec),
-      plane_elems_(static_cast<std::size_t>(spec.nrho) *
-                   static_cast<std::size_t>(spec.ntemp)),
-      storage_(plane_elems_ * kNumPlanes, policy) {
+/// Validate before any member computes sizes from the spec: a bogus grid
+/// shape must throw here, not turn into a huge size_t product that the
+/// storage mapping then tries (and fails) to honour.
+const HelmTableSpec& validated(const HelmTableSpec& spec) {
   FHP_REQUIRE(spec.nrho >= 4 && spec.ntemp >= 4,
               "helm table needs at least a 4x4 grid");
   FHP_REQUIRE(spec.log_rho_max > spec.log_rho_min &&
                   spec.log_temp_max > spec.log_temp_min,
               "helm table axis bounds are inverted");
+  return spec;
 }
+
+}  // namespace
+
+HelmTable::HelmTable(const HelmTableSpec& spec, mem::HugePolicy policy)
+    : spec_(validated(spec)),
+      plane_elems_(static_cast<std::size_t>(spec.nrho) *
+                   static_cast<std::size_t>(spec.ntemp)),
+      storage_(plane_elems_ * kNumPlanes, policy) {}
 
 HelmTable HelmTable::build(const HelmTableSpec& spec, mem::HugePolicy policy) {
   HelmTable table(spec, policy);
@@ -129,12 +135,12 @@ std::optional<HelmTable> HelmTable::load(const HelmTableSpec& spec,
                                          const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
-  char magic[8];
+  char magic[8] = {};
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
     return std::nullopt;
   }
-  HelmTableSpec file_spec;
+  HelmTableSpec file_spec{};
   in.read(reinterpret_cast<char*>(&file_spec), sizeof file_spec);
   if (!in || !(file_spec == spec)) return std::nullopt;
 

@@ -127,10 +127,8 @@ ExactRiemann::StarState ExactRiemann::solve(const PrimState& left,
     }
     p = next;
   }
-  const auto [fl, fld] = side(p, left, cl);
-  const auto [fr, frd] = side(p, right, cr);
-  (void)fld;
-  (void)frd;
+  const double fl = side(p, left, cl).first;
+  const double fr = side(p, right, cr).first;
   return {p, 0.5 * (left.u + right.u) + 0.5 * (fr - fl)};
 }
 

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <type_traits>
 
 #include "mem/arena.hpp"
+#include "support/error.hpp"
 
 namespace fhp::mem {
 
@@ -41,6 +43,8 @@ class HugeAllocator {
       : arena_(&other.arena()) {}
 
   [[nodiscard]] T* allocate(size_type n) {
+    FHP_REQUIRE(n <= std::numeric_limits<size_type>::max() / sizeof(T),
+                "allocator byte count overflows size_t");
     return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
   }
 
@@ -70,6 +74,9 @@ class HugeBuffer {
   /// Allocate room for \p count elements under \p policy (value-initialized).
   HugeBuffer(std::size_t count, HugePolicy policy)
       : region_([&] {
+          FHP_REQUIRE(
+              count <= std::numeric_limits<std::size_t>::max() / sizeof(T),
+              "HugeBuffer byte count overflows size_t");
           MapRequest req;
           req.bytes = count * sizeof(T);
           req.policy = policy;

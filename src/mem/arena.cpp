@@ -4,15 +4,16 @@
 #include <sstream>
 
 #include "mem/page_size.hpp"
-#include "support/error.hpp"
+#include "support/contracts.hpp"
+#include "support/mutex.hpp"
 #include "support/string_util.hpp"
 
 namespace fhp::mem {
 
 Arena::Arena(HugePolicy policy, std::size_t chunk_bytes)
     : policy_(policy), chunk_bytes_(chunk_bytes) {
-  FHP_REQUIRE(chunk_bytes_ >= kPage2M,
-              "arena chunk size must be at least one huge page (2 MiB)");
+  FHP_PRECONDITION(chunk_bytes_ >= kPage2M,
+                   "arena chunk size must be at least one huge page (2 MiB)");
 }
 
 void Arena::add_chunk(std::size_t min_bytes) {
@@ -34,9 +35,9 @@ void Arena::add_chunk(std::size_t min_bytes) {
 }
 
 void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
-  FHP_REQUIRE(bytes > 0, "zero-byte arena allocation");
-  FHP_REQUIRE(is_pow2(alignment), "alignment must be a power of two");
-  std::lock_guard lock(mutex_);
+  FHP_PRECONDITION(bytes > 0, "zero-byte arena allocation");
+  FHP_PRECONDITION(is_pow2(alignment), "alignment must be a power of two");
+  MutexLock lock(mutex_);
 
   auto align_up = [alignment](std::byte* p) {
     auto v = reinterpret_cast<std::uintptr_t>(p);
@@ -49,7 +50,7 @@ void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
       aligned + bytes > chunk_end_) {
     add_chunk(bytes + alignment);
     aligned = align_up(cursor_);
-    FHP_CHECK(aligned + bytes <= chunk_end_, "fresh chunk too small");
+    FHP_ASSERT(aligned + bytes <= chunk_end_, "fresh chunk too small");
   }
   cursor_ = aligned + bytes;
   stats_.bytes_requested += bytes;
@@ -58,7 +59,7 @@ void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
 }
 
 void Arena::release() noexcept {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   chunks_.clear();
   cursor_ = nullptr;
   chunk_end_ = nullptr;
@@ -66,19 +67,19 @@ void Arena::release() noexcept {
 }
 
 ArenaStats Arena::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::uint64_t Arena::resident_huge_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& chunk : chunks_) total += chunk.resident_huge_bytes();
   return total;
 }
 
 std::string Arena::report() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream os;
   os << "Arena[policy=" << to_string(policy_) << "] " << chunks_.size()
      << " chunk(s), " << format_bytes(stats_.bytes_reserved) << " reserved, "

@@ -15,12 +15,15 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "mem/huge_policy.hpp"
 #include "mem/mapped_region.hpp"
+#include "support/contracts.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fhp::mem {
 
@@ -52,8 +55,13 @@ class Arena {
   void* allocate(std::size_t bytes, std::size_t alignment = 64);
 
   /// Typed convenience: allocate a zero-initialized array of \p count T.
+  /// Throws fhp::ConfigError if count * sizeof(T) overflows std::size_t
+  /// (which would otherwise silently allocate a tiny wrapped-around
+  /// buffer). This check is always on, independent of FLASHHP_CONTRACTS.
   template <typename T>
   T* allocate_array(std::size_t count) {
+    FHP_REQUIRE(count <= std::numeric_limits<std::size_t>::max() / sizeof(T),
+                "allocate_array byte count overflows size_t");
     return static_cast<T*>(allocate(count * sizeof(T), alignof(T) > 64
                                                            ? alignof(T)
                                                            : 64));
@@ -76,15 +84,16 @@ class Arena {
   [[nodiscard]] std::string report() const;
 
  private:
-  void add_chunk(std::size_t min_bytes);
+  void add_chunk(std::size_t min_bytes) FHP_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  HugePolicy policy_;
-  std::size_t chunk_bytes_;
-  std::vector<MappedRegion> chunks_;
-  std::byte* cursor_ = nullptr;  // next free byte in the last chunk
-  std::byte* chunk_end_ = nullptr;
-  ArenaStats stats_;
+  mutable Mutex mutex_;
+  HugePolicy policy_;       // set in the constructor, immutable afterwards
+  std::size_t chunk_bytes_; // set in the constructor, immutable afterwards
+  std::vector<MappedRegion> chunks_ FHP_GUARDED_BY(mutex_);
+  /// next free byte in the last chunk
+  std::byte* cursor_ FHP_GUARDED_BY(mutex_) = nullptr;
+  std::byte* chunk_end_ FHP_GUARDED_BY(mutex_) = nullptr;
+  ArenaStats stats_ FHP_GUARDED_BY(mutex_);
 };
 
 /// The process-wide arena used by the mesh/EOS containers unless an

@@ -11,6 +11,7 @@
 #include "mem/meminfo.hpp"
 #include "mem/page_size.hpp"
 #include "mem/thp.hpp"
+#include "support/contracts.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/string_util.hpp"
@@ -63,7 +64,9 @@ std::size_t choose_hugetlb_page(std::size_t bytes, std::size_t preferred) {
 }  // namespace
 
 MappedRegion::MappedRegion(const MapRequest& request) {
-  FHP_REQUIRE(request.bytes > 0, "cannot map zero bytes");
+  FHP_PRECONDITION(request.bytes > 0, "cannot map zero bytes");
+  FHP_PRECONDITION(request.hugetlb_page == 0 || is_pow2(request.hugetlb_page),
+                   "hugetlb page preference must be a power of two");
   requested_ = request.policy;
   const std::size_t base = base_page_size();
 

@@ -85,6 +85,16 @@ class MappedRegion {
   /// /proc/self/smaps. Zero for kSmallPages regions (by construction).
   [[nodiscard]] std::uint64_t resident_huge_bytes() const;
 
+  /// True if [ptr, ptr + bytes) lies entirely inside this mapping — the
+  /// mapped-range-containment contract checked at the mesh boundaries.
+  [[nodiscard]] bool contains(const void* ptr,
+                              std::size_t bytes) const noexcept {
+    const auto p = reinterpret_cast<std::uintptr_t>(ptr);
+    const auto base = reinterpret_cast<std::uintptr_t>(addr_);
+    return addr_ != nullptr && p >= base && bytes <= size_ &&
+           p - base <= size_ - bytes;
+  }
+
   /// Touch every page (write one byte per page) to force population.
   void prefault() noexcept;
 

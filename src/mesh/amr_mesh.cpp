@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/contracts.hpp"
+
 namespace fhp::mesh {
 
 namespace {
@@ -366,6 +368,8 @@ void AmrMesh::prolong_child(int parent, int child) {
 }
 
 std::array<int, 8> AmrMesh::refine_block(int id) {
+  FHP_PRECONDITION(id >= 0 && id < tree_.capacity(),
+                   "refine_block id out of range");
   const std::array<int, 8> kids = tree_.refine(id);
   for (int c = 0; c < config_.nchildren(); ++c) {
     prolong_child(id, kids[static_cast<std::size_t>(c)]);
@@ -374,6 +378,8 @@ std::array<int, 8> AmrMesh::refine_block(int id) {
 }
 
 void AmrMesh::derefine_block(int id) {
+  FHP_PRECONDITION(id >= 0 && id < tree_.capacity(),
+                   "derefine_block id out of range");
   const BlockInfo& info = tree_.info(id);
   for (int c = 0; c < config_.nchildren(); ++c) {
     const int kid = info.children[static_cast<std::size_t>(c)];
@@ -418,6 +424,9 @@ double AmrMesh::loehner_error(int b, int v) const {
 
 int AmrMesh::remesh(std::span<const int> est_vars, double refine_cut,
                     double derefine_cut) {
+  FHP_PRECONDITION(!est_vars.empty(), "remesh needs at least one error var");
+  FHP_PRECONDITION(refine_cut >= derefine_cut,
+                   "refine_cut must not undercut derefine_cut");
   fill_guardcells();
 
   const std::vector<int> leaves = tree_.leaves_morton();

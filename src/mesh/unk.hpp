@@ -21,6 +21,7 @@
 #include "mem/allocator.hpp"
 #include "mem/huge_policy.hpp"
 #include "mesh/config.hpp"
+#include "support/contracts.hpp"
 #include "tlb/trace.hpp"
 
 namespace fhp::mesh {
@@ -107,6 +108,22 @@ class UnkContainer {
                         int ihi, int jlo, int jhi, int klo, int khi,
                         int nread, int nwrite) const {
     if (!tracer.enabled()) return;
+    FHP_PRECONDITION(axis >= 0 && axis <= 2, "sweep axis must be 0, 1 or 2");
+    FHP_PRECONDITION(b >= 0 && b < maxblocks_, "block index out of range");
+    FHP_PRECONDITION(0 <= ilo && ilo <= ihi && ihi <= ni_ &&
+                         0 <= jlo && jlo <= jhi && jhi <= nj_ &&
+                         0 <= klo && klo <= khi && khi <= nk_,
+                     "sweep range exceeds block extent");
+    FHP_PRECONDITION(nread >= 0 && nread <= nvar_ && nwrite >= 0 &&
+                         nwrite <= nvar_,
+                     "cannot touch more variables than the mesh carries");
+    // Mapped-range containment: the last zone of the sweep must lie inside
+    // the backing region (catches stride/layout bugs before they scribble).
+    FHP_ASSERT(ihi == ilo || jhi == jlo || khi == klo ||
+                   region().contains(
+                       ptr(0, ihi - 1, jhi - 1, khi - 1, b),
+                       sizeof(double) * static_cast<std::size_t>(nvar_)),
+               "sweep extends past the mapped unk region");
     const int lo[3] = {ilo, jlo, klo};
     const int hi[3] = {ihi, jhi, khi};
     // outer/mid/inner loop axes; `axis` is innermost (the pencil).

@@ -38,7 +38,7 @@ RegionRegistry& RegionRegistry::instance() {
 
 void RegionRegistry::accumulate(std::string_view name, const CounterSet& delta,
                                 const CounterSet* hw_delta) {
-  std::lock_guard lock(mutex_);
+  fhp::MutexLock lock(mutex_);
   auto it = stats_.find(name);
   if (it == stats_.end()) {
     it = stats_.emplace(std::string(name), RegionStats{}).first;
@@ -52,13 +52,13 @@ void RegionRegistry::accumulate(std::string_view name, const CounterSet& delta,
 }
 
 RegionStats RegionRegistry::get(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  fhp::MutexLock lock(mutex_);
   auto it = stats_.find(name);
   return it == stats_.end() ? RegionStats{} : it->second;
 }
 
 std::vector<std::string> RegionRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  fhp::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(stats_.size());
   for (const auto& [name, s] : stats_) out.push_back(name);
@@ -66,7 +66,7 @@ std::vector<std::string> RegionRegistry::names() const {
 }
 
 void RegionRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  fhp::MutexLock lock(mutex_);
   stats_.clear();
 }
 

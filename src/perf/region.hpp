@@ -15,13 +15,14 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "perf/events.hpp"
 #include "perf/soft_counters.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fhp::perf {
 
@@ -40,21 +41,23 @@ class RegionRegistry {
 
   /// Merge a delta into \p name.
   void accumulate(std::string_view name, const CounterSet& delta,
-                  const CounterSet* hw_delta);
+                  const CounterSet* hw_delta) FHP_EXCLUDES(mutex_);
 
   /// Stats for one region (zeros if never entered).
-  [[nodiscard]] RegionStats get(std::string_view name) const;
+  [[nodiscard]] RegionStats get(std::string_view name) const
+      FHP_EXCLUDES(mutex_);
 
   /// All region names with data, sorted.
-  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<std::string> names() const FHP_EXCLUDES(mutex_);
 
   /// Clear everything (between experiment arms).
-  void reset();
+  void reset() FHP_EXCLUDES(mutex_);
 
  private:
   RegionRegistry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::string, RegionStats, std::less<>> stats_;
+  mutable fhp::Mutex mutex_;
+  std::map<std::string, RegionStats, std::less<>> stats_
+      FHP_GUARDED_BY(mutex_);
 };
 
 /// RAII region: counts everything between construction and destruction

@@ -8,7 +8,9 @@ namespace fhp::perf {
 
 RegionReport::RegionReport(double clock_hz, const RegionRegistry& registry)
     : clock_hz_(clock_hz) {
-  for (const std::string& name : registry.names()) {
+  const std::vector<std::string> names = registry.names();
+  regions_.reserve(names.size());
+  for (const std::string& name : names) {
     const RegionStats stats = registry.get(name);
     RegionMeasures rm;
     rm.name = name;

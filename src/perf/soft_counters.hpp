@@ -9,12 +9,19 @@
 /// Counters are plain (non-atomic) per the library's single-threaded
 /// kernel execution model; an explicit mutex-free design keeps the
 /// increment on the simulation hot path to one add.
+///
+/// Thread-safety contract: all mutation happens on the single kernel
+/// (simulation) thread. The mutating methods are deliberately outside
+/// the lock discipline and are marked FHP_NO_THREAD_SAFETY_ANALYSIS to
+/// record that this is a design decision, not an oversight; the `tsan`
+/// CMake preset exists to catch any future multi-threaded misuse.
 
 #pragma once
 
 #include <cstdint>
 
 #include "perf/events.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fhp::perf {
 
@@ -23,27 +30,32 @@ class SoftCounters {
  public:
   static SoftCounters& instance() noexcept;
 
-  /// Add \p amount to \p event.
-  void add(Event event, std::uint64_t amount) noexcept {
+  /// Add \p amount to \p event. Kernel thread only (see file comment).
+  void add(Event event, std::uint64_t amount) noexcept
+      FHP_NO_THREAD_SAFETY_ANALYSIS {
     counters_[static_cast<std::size_t>(event)] += amount;
   }
 
   /// Bulk add (one call per traced basic block from the machine model).
-  void add_all(const CounterSet& delta) noexcept {
+  /// Kernel thread only (see file comment).
+  void add_all(const CounterSet& delta) noexcept
+      FHP_NO_THREAD_SAFETY_ANALYSIS {
     for (std::size_t i = 0; i < kNumEvents; ++i) {
       counters_[i] += delta.values[i];
     }
   }
 
   /// Snapshot current totals (wall clock filled in by the caller/backend).
-  [[nodiscard]] CounterSet snapshot() const noexcept {
+  [[nodiscard]] CounterSet snapshot() const noexcept
+      FHP_NO_THREAD_SAFETY_ANALYSIS {
     CounterSet s;
     for (std::size_t i = 0; i < kNumEvents; ++i) s.values[i] = counters_[i];
     return s;
   }
 
   /// Zero all counters (tests and between-experiment hygiene).
-  void reset() noexcept {
+  /// Kernel thread only (see file comment).
+  void reset() noexcept FHP_NO_THREAD_SAFETY_ANALYSIS {
     for (auto& c : counters_) c = 0;
   }
 

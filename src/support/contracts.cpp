@@ -1,0 +1,29 @@
+#include "support/contracts.hpp"
+
+#include <sstream>
+
+namespace fhp::detail {
+
+namespace {
+std::string format_contract(std::string_view kind, std::string_view expr,
+                            std::string_view msg,
+                            const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " at " << loc.file_name() << ':' << loc.line() << " in "
+     << loc.function_name() << ": (" << expr << ") — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_contract_violation(std::string_view expr, std::string_view msg,
+                              const std::source_location& loc) {
+  throw ContractViolation(
+      format_contract("precondition violated", expr, msg, loc));
+}
+
+void throw_assertion_failure(std::string_view expr, std::string_view msg,
+                             const std::source_location& loc) {
+  throw AssertionError(format_contract("assertion failed", expr, msg, loc));
+}
+
+}  // namespace fhp::detail

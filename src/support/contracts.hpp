@@ -1,0 +1,86 @@
+/// \file contracts.hpp
+/// \brief Debug contract layer: FHP_PRECONDITION / FHP_ASSERT.
+///
+/// The paper's failure mode was *silent*: nothing crashed, the run was
+/// just quietly slow because the toolchain never delivered the page
+/// regime the code assumed. The contract layer makes the assumptions at
+/// the mem/mesh API boundaries loud instead — power-of-two alignments,
+/// non-zero sizes, mapped-range containment — so a violated invariant
+/// throws at the call site rather than corrupting a 64 MiB chunk later.
+///
+/// Relationship to error.hpp:
+///   FHP_REQUIRE / FHP_CHECK      always-on validation of external input
+///                                (flash.par values, sysfs contents).
+///   FHP_PRECONDITION / FHP_ASSERT  contracts on *our own* API use. On by
+///                                default (including RelWithDebInfo; the
+///                                guarded boundaries are cold), compiled
+///                                out with -DFLASHHP_CONTRACTS=OFF
+///                                (-DFHP_DISABLE_CONTRACTS) for maximum-
+///                                performance production builds.
+///
+/// A violated FHP_PRECONDITION throws fhp::ContractViolation (a
+/// ConfigError: the caller broke the contract); a violated FHP_ASSERT
+/// throws fhp::AssertionError (an InternalError: flashhp itself is
+/// buggy). Tests can therefore exercise contracts with EXPECT_THROW
+/// instead of fork-style death tests.
+
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace fhp {
+
+/// A caller violated a documented API precondition.
+class ContractViolation : public ConfigError {
+ public:
+  using ConfigError::ConfigError;
+};
+
+/// An internal contract (FHP_ASSERT) failed — a bug in flashhp.
+class AssertionError : public InternalError {
+ public:
+  using InternalError::InternalError;
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_violation(std::string_view expr,
+                                           std::string_view msg,
+                                           const std::source_location& loc);
+[[noreturn]] void throw_assertion_failure(std::string_view expr,
+                                          std::string_view msg,
+                                          const std::source_location& loc);
+}  // namespace detail
+
+}  // namespace fhp
+
+#if !defined(FHP_DISABLE_CONTRACTS)
+#define FHP_CONTRACTS_ENABLED 1
+
+/// Validate a documented precondition at an API boundary; throws
+/// fhp::ContractViolation when \p expr is false.
+#define FHP_PRECONDITION(expr, msg)                           \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::fhp::detail::throw_contract_violation(                \
+          #expr, (msg), std::source_location::current());     \
+    }                                                         \
+  } while (false)
+
+/// Validate an internal invariant; throws fhp::AssertionError when
+/// \p expr is false.
+#define FHP_ASSERT(expr, msg)                                 \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::fhp::detail::throw_assertion_failure(                 \
+          #expr, (msg), std::source_location::current());     \
+    }                                                         \
+  } while (false)
+
+#else  // FHP_DISABLE_CONTRACTS
+#define FHP_CONTRACTS_ENABLED 0
+#define FHP_PRECONDITION(expr, msg) static_cast<void>(0)
+#define FHP_ASSERT(expr, msg) static_cast<void>(0)
+#endif

@@ -25,17 +25,17 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) noexcept {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   level_ = level;
 }
 
 LogLevel Logger::level() const noexcept {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return level_;
 }
 
 void Logger::set_logfile(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_.is_open()) file_.close();
   if (path.empty()) return;
   file_.open(path, std::ios::out | std::ios::app);
@@ -45,7 +45,7 @@ void Logger::set_logfile(const std::string& path) {
 }
 
 void Logger::write(LogLevel level, std::string_view message) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (level < level_ || level_ == LogLevel::kOff) return;
 
   const auto now = std::chrono::system_clock::now();

@@ -9,10 +9,12 @@
 
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fhp {
 
@@ -27,24 +29,24 @@ class Logger {
   static Logger& instance();
 
   /// Minimum severity that will be emitted.
-  void set_level(LogLevel level) noexcept;
-  [[nodiscard]] LogLevel level() const noexcept;
+  void set_level(LogLevel level) noexcept FHP_EXCLUDES(mutex_);
+  [[nodiscard]] LogLevel level() const noexcept FHP_EXCLUDES(mutex_);
 
   /// Attach a log file (mirrors FLASH's flash.log). Pass an empty path to
   /// detach. Throws fhp::SystemError if the file cannot be opened.
-  void set_logfile(const std::string& path);
+  void set_logfile(const std::string& path) FHP_EXCLUDES(mutex_);
 
   /// Emit one line at the given severity.
-  void write(LogLevel level, std::string_view message);
+  void write(LogLevel level, std::string_view message) FHP_EXCLUDES(mutex_);
 
   Logger(const Logger&) = delete;
   Logger& operator=(const Logger&) = delete;
 
  private:
   Logger() = default;
-  mutable std::mutex mutex_;
-  LogLevel level_ = LogLevel::kInfo;
-  std::ofstream file_;
+  mutable Mutex mutex_;
+  LogLevel level_ FHP_GUARDED_BY(mutex_) = LogLevel::kInfo;
+  std::ofstream file_ FHP_GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -103,7 +103,9 @@ std::optional<unsigned long long> parse_size_bytes(std::string_view s) {
   } else if (suffix == 'm' || suffix == 'M') {
     multiplier = 1ull << 20;
   } else if (suffix == 'g' || suffix == 'G') {
-    multiplier = 1ull << 30;
+    // Unit multiplier for a "G" suffix, not a page size; support/ cannot
+    // depend on mem/page_size.hpp.
+    multiplier = 1ull << 30;  // fhp-lint: allow(page-size-literal)
   }
   if (multiplier != 1) s.remove_suffix(1);
   auto base = parse_int(s);

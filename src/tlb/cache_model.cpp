@@ -15,8 +15,7 @@ constexpr std::uint32_t log2_u32(std::uint32_t v) {
 }
 }  // namespace
 
-CacheModel::CacheModel(const CacheGeometry& geometry)
-    : line_(geometry.line_bytes), line_shift_(log2_u32(geometry.line_bytes)) {
+CacheModel::CacheModel(const CacheGeometry& geometry) {
   FHP_REQUIRE(geometry.line_bytes != 0 &&
                   (geometry.line_bytes & (geometry.line_bytes - 1)) == 0,
               "cache line size must be a power of two");
@@ -24,9 +23,12 @@ CacheModel::CacheModel(const CacheGeometry& geometry)
   const std::size_t total_lines = geometry.capacity_bytes / geometry.line_bytes;
   FHP_REQUIRE(total_lines >= geometry.ways,
               "cache capacity smaller than one set");
+  line_ = geometry.line_bytes;
+  line_shift_ = log2_u32(geometry.line_bytes);
   sets_ = static_cast<std::uint32_t>(total_lines / geometry.ways);
   FHP_REQUIRE(sets_ != 0 && (sets_ & (sets_ - 1)) == 0,
               "cache set count must be a power of two");
+  set_shift_ = log2_u32(sets_);
   ways_ = geometry.ways;
   lines_.resize(static_cast<std::size_t>(sets_) * ways_);
 }
@@ -34,7 +36,7 @@ CacheModel::CacheModel(const CacheGeometry& geometry)
 CacheResult CacheModel::access(std::uint64_t addr, bool write) noexcept {
   const std::uint64_t block = addr >> line_shift_;
   const std::uint32_t set = static_cast<std::uint32_t>(block & (sets_ - 1));
-  const std::uint64_t tag = block >> log2_u32(sets_);
+  const std::uint64_t tag = block >> set_shift_;
   Line* row = &lines_[static_cast<std::size_t>(set) * ways_];
   ++clock_;
 
@@ -66,7 +68,7 @@ CacheResult CacheModel::access(std::uint64_t addr, bool write) noexcept {
 bool CacheModel::contains(std::uint64_t addr) const noexcept {
   const std::uint64_t block = addr >> line_shift_;
   const std::uint32_t set = static_cast<std::uint32_t>(block & (sets_ - 1));
-  const std::uint64_t tag = block >> log2_u32(sets_);
+  const std::uint64_t tag = block >> set_shift_;
   const Line* row = &lines_[static_cast<std::size_t>(set) * ways_];
   for (std::uint32_t w = 0; w < ways_; ++w) {
     if (row[w].valid && row[w].tag == tag) return true;

@@ -48,10 +48,11 @@ class CacheModel {
     bool dirty = false;
   };
 
-  std::uint32_t line_;
-  std::uint32_t line_shift_;
-  std::uint32_t sets_;
-  std::uint32_t ways_;
+  std::uint32_t line_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t sets_ = 0;
+  std::uint32_t set_shift_ = 0;
+  std::uint32_t ways_ = 0;
   std::vector<Line> lines_;
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;

@@ -21,7 +21,9 @@ struct TlbGeometry {
 
 /// Geometry of one cache level.
 struct CacheGeometry {
-  std::size_t capacity_bytes = 64 << 10;
+  // 64 KiB here is the A64FX L1D *cache capacity*, which only
+  // coincides with the 64 KiB base-page size.
+  std::size_t capacity_bytes = 64 << 10;  // fhp-lint: allow(page-size-literal)
   std::uint32_t ways = 4;
   std::uint32_t line_bytes = 256;
 };
@@ -39,7 +41,7 @@ struct MachineConfig {
   double walk_overlap = 0.97;
 
   // --- caches ---
-  CacheGeometry l1d{64 << 10, 4, 256};
+  CacheGeometry l1d{64 << 10, 4, 256};  // fhp-lint: allow(page-size-literal)
   /// The A64FX L2 is 8 MiB per core-memory-group *shared by 12 cores*;
   /// FLASH runs one MPI rank per core, so the effective per-rank share is
   /// modeled directly.

@@ -1,0 +1,485 @@
+#!/usr/bin/env python3
+"""flashhp_lint: huge-page invariant linter for the flashhp tree.
+
+The paper behind this repo found FLASH silently running on base pages
+because the toolchain never delivered the page regime the code assumed.
+The compiler cannot check the conventions that prevent that class of bug,
+so this linter does:
+
+  raw-mmap            mmap/munmap/madvise/mremap/mprotect (and
+                      <sys/mman.h>) are allowed only under src/mem/ — the
+                      one place where page-regime decisions live and are
+                      *verified* (MappedRegion records what it actually
+                      got). A raw mmap elsewhere is exactly the unverified
+                      allocation the paper warns about.
+
+  page-size-literal   magic page-size constants (4096, 65536, 2097152,
+                      536870912, 1073741824, or any `N << S` spelling of
+                      them) are allowed only in src/mem/page_size.* —
+                      everyone else must use the named kPage* constants or
+                      runtime discovery, so a port to a 64 KiB-base-page
+                      machine (the paper's A64FX) is a one-file change.
+
+  bulk-alloc          src/mesh, src/hydro and src/eos must not allocate
+                      bulk data with malloc/calloc/realloc/free or
+                      `new T[...]`: simulation arrays go through
+                      mem::Arena / mem::HugeBuffer so one HugePolicy
+                      switch moves the whole working set between page
+                      regimes.
+
+  include-hygiene     headers carry `#pragma once`; project includes are
+                      module-qualified ("mem/arena.hpp"), never relative
+                      ("../mem/arena.hpp"), and must resolve to a real
+                      file under src/.
+
+Suppressions (sparingly, with a reason in the surrounding comment):
+  // fhp-lint: allow(rule-id)         — this line only
+  // fhp-lint: allow-file(rule-id)    — whole file; first 15 lines only
+
+Exit status: 0 clean, 1 violations found, 2 bad invocation.
+Run `flashhp_lint.py --self-test` to verify the linter still catches
+planted violations (wired into ctest as flashhp_lint_selftest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+from dataclasses import dataclass
+
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+# Byte values that are page sizes on machines this project cares about:
+# 4 KiB x86 base, 64 KiB A64FX base, 2 MiB PMD/THP, 512 MiB A64FX hugetlb,
+# 1 GiB x86 gigantic.
+PAGE_SIZE_VALUES = {4096, 65536, 2097152, 536870912, 1073741824}
+
+MMAP_FUNCTIONS = ("mmap", "munmap", "madvise", "mremap", "mprotect")
+
+ALLOW_LINE_RE = re.compile(r"fhp-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+ALLOW_FILE_RE = re.compile(
+    r"fhp-lint:\s*allow-file\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RULES = {
+    "raw-mmap": "raw mmap/munmap/madvise/... outside src/mem",
+    "page-size-literal": "magic page-size literal outside src/mem/page_size.*",
+    "bulk-alloc": "malloc/new[] bulk allocation in mesh/hydro/eos",
+    "include-hygiene": "#pragma once, module-qualified non-relative includes",
+}
+
+
+@dataclass
+class Violation:
+    path: pathlib.Path
+    line: int
+    rule: str
+    message: str
+
+    def format(self, root: pathlib.Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(text: str) -> list[str]:
+    """Return per-line source with comments and string/char literals
+    blanked out, so tokens inside them are never matched."""
+    out: list[list[str]] = [[]]
+    state = "code"  # code | line-comment | block-comment | string | char
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == "line-comment":
+                state = "code"
+            out.append([])
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out[-1].append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out[-1].append(" ")
+                i += 1
+                continue
+            out[-1].append(c)
+            i += 1
+            continue
+        if state in ("string", "char"):
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                    state == "char" and c == "'"):
+                state = "code"
+            i += 1
+            continue
+        if state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+            continue
+        if state == "line-comment":
+            i += 1
+            continue
+    return ["".join(chars) for chars in out]
+
+
+def shifted_value(lhs: str, rhs: str) -> int | None:
+    try:
+        return int(lhs, 0) << int(rhs, 0)
+    except (ValueError, OverflowError):
+        return None
+
+
+SHIFT_RE = re.compile(r"\b(\d+)\s*(?:u|l|ul|ull|uz|z)?\s*<<\s*(\d+)\b",
+                      re.IGNORECASE)
+# Products of plain integer literals: 2 * 1024 * 1024 and friends.
+PRODUCT_RE = re.compile(
+    r"\b(?:0[xX][0-9a-fA-F]+|\d+)(?:u|l|ul|ull|uz|z)?"
+    r"(?:\s*\*\s*(?:0[xX][0-9a-fA-F]+|\d+)(?:u|l|ul|ull|uz|z)?)+\b",
+    re.IGNORECASE)
+INT_LITERAL_RE = re.compile(r"\b(0[xX][0-9a-fA-F]+|\d+)(?:u|l|ul|ull|uz|z)?\b",
+                            re.IGNORECASE)
+MMAP_CALL_RE = re.compile(
+    r"(?<![\w:])(?:::\s*)?(" + "|".join(MMAP_FUNCTIONS) + r")\s*\(")
+MMAN_INCLUDE_RE = re.compile(r'#\s*include\s*<sys/mman\.h>')
+CALLOC_RE = re.compile(r"(?<![\w:])(?:std\s*::\s*)?"
+                       r"(malloc|calloc|realloc|free)\s*\(")
+NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>,\s]+?\[")
+MAKE_UNIQUE_ARRAY_RE = re.compile(r"\bmake_unique\s*<[^;>]*\[\s*\]\s*>")
+QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once\b")
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.src = root / "src"
+        self.violations: list[Violation] = []
+
+    # ---------------------------------------------------------------- scope
+    def _under(self, path: pathlib.Path, *parts: str) -> bool:
+        probe = self.src.joinpath(*parts)
+        return probe == path or probe in path.parents
+
+    def _is_mem(self, path: pathlib.Path) -> bool:
+        return self._under(path, "mem")
+
+    def _is_page_size(self, path: pathlib.Path) -> bool:
+        return self._under(path, "mem") and path.stem == "page_size"
+
+    def _is_bulk_scope(self, path: pathlib.Path) -> bool:
+        return any(self._under(path, m) for m in ("mesh", "hydro", "eos"))
+
+    # ----------------------------------------------------------------- scan
+    def lint_file(self, path: pathlib.Path) -> None:
+        if path.suffix not in CXX_SUFFIXES:
+            return
+        text = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = text.splitlines()
+        code_lines = strip_code(text)
+
+        file_allowed: set[str] = set()
+        for raw in raw_lines[:15]:
+            m = ALLOW_FILE_RE.search(raw)
+            if m:
+                file_allowed.update(r.strip() for r in m.group(1).split(","))
+
+        def allows(line_index: int) -> set[str]:
+            if not 0 <= line_index < len(raw_lines):
+                return set()
+            m = ALLOW_LINE_RE.search(raw_lines[line_index])
+            if not m:
+                return set()
+            return {r.strip() for r in m.group(1).split(",")}
+
+        def report(lineno: int, rule: str, message: str) -> None:
+            if rule in file_allowed:
+                return
+            if rule in allows(lineno - 1):
+                return
+            # A comment-only allow line covers the next line, like
+            # clang-tidy's NOLINTNEXTLINE.
+            if (lineno >= 2 and not code_lines[lineno - 2].strip()
+                    and rule in allows(lineno - 2)):
+                return
+            self.violations.append(Violation(path, lineno, rule, message))
+
+        in_mem = self._is_mem(path)
+        in_page_size = self._is_page_size(path)
+        in_bulk = self._is_bulk_scope(path)
+
+        if path.suffix in {".hpp", ".hh", ".h"} and raw_lines:
+            if not any(PRAGMA_ONCE_RE.search(l) for l in code_lines):
+                report(1, "include-hygiene",
+                       "header is missing '#pragma once'")
+
+        for lineno, code in enumerate(code_lines, start=1):
+            if not code.strip():
+                continue
+
+            # ---- include hygiene -------------------------------------
+            # The include path is a string literal, which strip_code
+            # blanks; detect the directive on the stripped line (so
+            # commented-out includes are ignored) but parse the path from
+            # the raw line.
+            raw = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+            include_line = raw if re.match(r"\s*#\s*include", code) else ""
+            for m in QUOTED_INCLUDE_RE.finditer(include_line):
+                inc = m.group(1)
+                if inc.startswith("..") or "/../" in inc:
+                    report(lineno, "include-hygiene",
+                           f'relative include "{inc}" — use the '
+                           f'module-qualified path from src/')
+                    continue
+                if "/" not in inc:
+                    report(lineno, "include-hygiene",
+                           f'include "{inc}" is not module-qualified '
+                           f'(expected "<module>/{inc}")')
+                    continue
+                if not (self.src / inc).is_file():
+                    report(lineno, "include-hygiene",
+                           f'include "{inc}" does not resolve under src/')
+
+            # ---- raw mmap family -------------------------------------
+            if not in_mem:
+                m = MMAP_CALL_RE.search(code)
+                if m:
+                    report(lineno, "raw-mmap",
+                           f"raw {m.group(1)}() call outside src/mem — go "
+                           f"through mem::MappedRegion / mem::Arena so the "
+                           f"page regime is tracked and verified")
+                if MMAN_INCLUDE_RE.search(include_line):
+                    report(lineno, "raw-mmap",
+                           "<sys/mman.h> included outside src/mem")
+
+            # ---- magic page-size literals ----------------------------
+            if not in_page_size:
+                consumed: list[tuple[int, int]] = []
+                for m in SHIFT_RE.finditer(code):
+                    value = shifted_value(m.group(1), m.group(2))
+                    if value in PAGE_SIZE_VALUES:
+                        consumed.append(m.span())
+                        report(lineno, "page-size-literal",
+                               f"page-size literal {m.group(0).strip()} "
+                               f"(= {value}) — use the kPage* constants "
+                               f"from mem/page_size.hpp")
+                for m in PRODUCT_RE.finditer(code):
+                    if any(s <= m.start() < e for s, e in consumed):
+                        continue
+                    factors = [int(f, 0) for f in
+                               INT_LITERAL_RE.findall(m.group(0))]
+                    value = 1
+                    for f in factors:
+                        value *= f
+                    if value in PAGE_SIZE_VALUES:
+                        consumed.append(m.span())
+                        report(lineno, "page-size-literal",
+                               f"page-size literal {m.group(0).strip()} "
+                               f"(= {value}) — use the kPage* constants "
+                               f"from mem/page_size.hpp")
+                for m in INT_LITERAL_RE.finditer(code):
+                    if any(s <= m.start() < e for s, e in consumed):
+                        continue
+                    try:
+                        value = int(m.group(1), 0)
+                    except ValueError:
+                        continue
+                    if value in PAGE_SIZE_VALUES:
+                        report(lineno, "page-size-literal",
+                               f"page-size literal {m.group(1)} — use the "
+                               f"kPage* constants from mem/page_size.hpp")
+
+            # ---- bulk allocation in simulation modules ---------------
+            if in_bulk:
+                m = CALLOC_RE.search(code)
+                if m:
+                    report(lineno, "bulk-alloc",
+                           f"{m.group(1)}() in a simulation module — bulk "
+                           f"data must come from mem::Arena / "
+                           f"mem::HugeBuffer")
+                if NEW_ARRAY_RE.search(code) or \
+                        MAKE_UNIQUE_ARRAY_RE.search(code):
+                    report(lineno, "bulk-alloc",
+                           "array new in a simulation module — bulk data "
+                           "must come from mem::Arena / mem::HugeBuffer")
+
+    def lint_tree(self, paths: list[pathlib.Path]) -> None:
+        for base in paths:
+            if base.is_file():
+                self.lint_file(base)
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.is_file():
+                    self.lint_file(path)
+
+
+# -------------------------------------------------------------- self test
+
+SELF_TEST_FILES = {
+    "src/hydro/bad_mmap.cpp": (
+        '#include <sys/mman.h>\n'
+        'void* grab(unsigned long n) {\n'
+        '  return mmap(nullptr, n, 3, 0x22, -1, 0);\n'
+        '}\n',
+        {"raw-mmap": 2},
+    ),
+    "src/eos/bad_literal.cpp": (
+        'unsigned long table_bytes() {\n'
+        '  unsigned long page = 4096;\n'
+        '  unsigned long huge = 1ull << 21;\n'
+        '  unsigned long prod = 2 * 1024 * 1024;\n'
+        '  return page + huge + prod;\n'
+        '}\n',
+        {"page-size-literal": 3},
+    ),
+    "src/mesh/bad_alloc.cpp": (
+        '#include <cstdlib>\n'
+        'double* unk_block(unsigned long n) {\n'
+        '  double* p = new double[n];\n'
+        '  void* q = std::malloc(n);\n'
+        '  std::free(q);\n'
+        '  return p;\n'
+        '}\n',
+        {"bulk-alloc": 3},
+    ),
+    "src/tlb/bad_include.hpp": (
+        '#include "../mem/arena.hpp"\n'
+        '#include "arena.hpp"\n',
+        {"include-hygiene": 3},  # relative + unqualified + no pragma once
+    ),
+    "src/perf/suppressed.cpp": (
+        '// deliberate: measuring the base-page TLB reach\n'
+        'unsigned long base() {\n'
+        '  return 4096;  // fhp-lint: allow(page-size-literal)\n'
+        '}\n',
+        {},
+    ),
+    "src/flame/clean.cpp": (
+        '#include "mem/page_size.hpp"\n'
+        'unsigned long two_pages() { return 2 * fhp::mem::kPage2M; }\n',
+        {},
+    ),
+    # Comments and strings must not trigger token rules.
+    "src/gravity/comments_only.cpp": (
+        '// mmap(MADV_HUGEPAGE) is discussed here: 4096 bytes, madvise().\n'
+        '/* new double[4096]; malloc(2097152); */\n'
+        'const char* doc() { return "mmap 4096 madvise"; }\n',
+        {},
+    ),
+}
+
+
+def run_self_test() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="flashhp_lint_") as tmp:
+        root = pathlib.Path(tmp)
+        # The include-hygiene resolver needs the real file to exist.
+        (root / "src/mem").mkdir(parents=True)
+        (root / "src/mem/page_size.hpp").write_text("#pragma once\n")
+        for rel, (content, _) in SELF_TEST_FILES.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+
+        for rel, (_, expected) in sorted(SELF_TEST_FILES.items()):
+            linter = Linter(root)
+            linter.lint_file(root / rel)
+            got: dict[str, int] = {}
+            for v in linter.violations:
+                got[v.rule] = got.get(v.rule, 0) + 1
+            if got != expected:
+                failures += 1
+                print(f"SELF-TEST FAIL {rel}: expected {expected}, "
+                      f"got {got}", file=sys.stderr)
+                for v in linter.violations:
+                    print(f"  {v.format(root)}", file=sys.stderr)
+        # The real tree's page_size.hpp must be allowed its own literals.
+        linter = Linter(root)
+        (root / "src/mem/page_size.hpp").write_text(
+            "#pragma once\ninline constexpr unsigned long kPage4K = 4096;\n")
+        linter.lint_file(root / "src/mem/page_size.hpp")
+        if linter.violations:
+            failures += 1
+            print("SELF-TEST FAIL: page_size.hpp must be exempt from "
+                  "page-size-literal", file=sys.stderr)
+    if failures == 0:
+        print(f"flashhp_lint self-test: OK "
+              f"({len(SELF_TEST_FILES) + 1} scenarios)")
+        return 0
+    print(f"flashhp_lint self-test: {failures} scenario(s) failed",
+          file=sys.stderr)
+    return 1
+
+
+# ------------------------------------------------------------------- main
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="flashhp_lint.py",
+        description="huge-page invariant linter for the flashhp tree")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories to lint "
+                             "(default: <root>/src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter catches planted violations")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule:20s} {summary}")
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"flashhp_lint: no src/ under --root {root}", file=sys.stderr)
+        return 2
+    paths = [p if p.is_absolute() else root / p for p in args.paths] or \
+        [root / "src"]
+    for p in paths:
+        if not p.exists():
+            print(f"flashhp_lint: no such path: {p}", file=sys.stderr)
+            return 2
+
+    linter = Linter(root)
+    linter.lint_tree(paths)
+    for v in linter.violations:
+        print(v.format(root))
+    if linter.violations:
+        print(f"flashhp_lint: {len(linter.violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("flashhp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
