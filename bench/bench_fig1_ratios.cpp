@@ -9,6 +9,7 @@
 /// ASCII plus a CSV block for plotting.
 ///
 /// Usage: bench_fig1_ratios [--eos_steps=N] [--hydro_steps=N]
+///                          [--par.threads=T]
 
 #include <cstdio>
 #include <iostream>
@@ -70,7 +71,9 @@ int main(int argc, char** argv) {
   rp.declare_int("hydro_steps", 60,
                  "hydro-test steps per arm (table bench: 200)");
   rp.declare_int("sample", 4, "trace every Nth block");
+  par::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  par::apply_runtime_params(rp);
   const int eos_steps = static_cast<int>(rp.get_int("eos_steps"));
   const int hydro_steps = static_cast<int>(rp.get_int("hydro_steps"));
   const int sample = static_cast<int>(rp.get_int("sample"));

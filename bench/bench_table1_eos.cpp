@@ -8,6 +8,7 @@
 /// huge-page policy of the mesh + EOS table flipped between arms.
 ///
 /// Usage: bench_table1_eos [--nsteps=N] [--max_level=L] [--sample=S]
+///                         [--par.threads=T]
 
 #include <cstdio>
 
@@ -20,7 +21,9 @@ int main(int argc, char** argv) {
   rp.declare_int("nsteps", 50, "time steps per arm (paper: 50)");
   rp.declare_int("max_level", 4, "finest AMR level");
   rp.declare_int("sample", 4, "trace every Nth block");
+  par::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  par::apply_runtime_params(rp);
   const int nsteps = static_cast<int>(rp.get_int("nsteps"));
   const int max_level = static_cast<int>(rp.get_int("max_level"));
   const int sample = static_cast<int>(rp.get_int("sample"));

@@ -5,11 +5,84 @@
 /// time steps" with the hydrodynamics routines instrumented.
 ///
 /// Usage: bench_table2_hydro [--nsteps=N] [--max_level=L] [--sample=S]
+///                           [--par.threads=T] [--json=PATH]
+///
+/// With --json=PATH the paper table is skipped; instead the without-HP
+/// arm runs at 1, 2 and 4 threads and the wall times land in PATH as
+/// JSON (the CI perf-trajectory artifact, BENCH_hydro.json). Modeled
+/// counters are asserted bit-identical across the three runs.
 
 #include <cstdio>
+#include <string>
 
 #include "experiment_runners.hpp"
 #include "support/runtime_params.hpp"
+
+namespace {
+
+/// The 1/2/4-thread scan behind --json=PATH. Returns 0 on success.
+int run_thread_scan(const std::string& path, int nsteps, int max_level,
+                    int sample) {
+  using namespace fhp;
+  const int thread_counts[3] = {1, 2, 4};
+  double wall[3] = {0, 0, 0};
+  std::uint64_t cycles[3] = {0, 0, 0};
+  std::uint64_t dtlb[3] = {0, 0, 0};
+  for (int t = 0; t < 3; ++t) {
+    par::set_threads(thread_counts[t]);
+    bench::ExperimentArm arm;
+    {
+      sim::SedovParams params;
+      params.max_level = max_level;
+      params.maxblocks = 700;
+      sim::SedovSetup setup(params, mem::HugePolicy::kNone);
+      hydro::HydroOptions hopt;
+      hopt.cfl = 0.6;
+      hydro::HydroSolver hydro(setup.mesh(), setup.eos(), hopt);
+      sim::DriverOptions dopt;
+      dopt.nsteps = nsteps;
+      dopt.trace_sample = sample;
+      dopt.verbose = false;
+      sim::Driver driver(setup.mesh(), hydro, arm.timers(), dopt,
+                         arm.units());
+      driver.evolve();
+    }
+    const auto totals = arm.perf().snapshot();
+    cycles[t] = totals[perf::Event::kCycles];
+    dtlb[t] = totals[perf::Event::kDtlbMisses];
+    wall[t] = arm.finish("hydro").wall_seconds;
+    std::printf("# threads=%d wall=%.3f s cycles=%llu dtlb=%llu\n",
+                thread_counts[t], wall[t],
+                static_cast<unsigned long long>(cycles[t]),
+                static_cast<unsigned long long>(dtlb[t]));
+  }
+  const bool identical = cycles[0] == cycles[1] && cycles[1] == cycles[2] &&
+                         dtlb[0] == dtlb[1] && dtlb[1] == dtlb[2];
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"table2_hydro\",\n"
+               "  \"nsteps\": %d,\n"
+               "  \"max_level\": %d,\n"
+               "  \"wall_seconds\": {\"1\": %.6f, \"2\": %.6f, \"4\": %.6f},\n"
+               "  \"speedup_4_over_1\": %.3f,\n"
+               "  \"modeled_counters_identical\": %s\n"
+               "}\n",
+               nsteps, max_level, wall[0], wall[1], wall[2],
+               wall[2] > 0 ? wall[0] / wall[2] : 0.0,
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("# wrote %s (speedup 4/1 = %.2fx, counters identical: %s)\n",
+              path.c_str(), wall[2] > 0 ? wall[0] / wall[2] : 0.0,
+              identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fhp;
@@ -17,10 +90,17 @@ int main(int argc, char** argv) {
   rp.declare_int("nsteps", 200, "time steps per arm (paper: 200)");
   rp.declare_int("max_level", 3, "finest AMR level");
   rp.declare_int("sample", 4, "trace every Nth block");
+  rp.declare_string("json", "", "write 1/2/4-thread wall times to this file");
+  par::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  par::apply_runtime_params(rp);
   const int nsteps = static_cast<int>(rp.get_int("nsteps"));
   const int max_level = static_cast<int>(rp.get_int("max_level"));
   const int sample = static_cast<int>(rp.get_int("sample"));
+
+  if (const std::string json = rp.get_string("json"); !json.empty()) {
+    return run_thread_scan(json, nsteps, max_level, sample);
+  }
 
   std::printf(
       "== Table II: 3-d Hydro problem (Sedov, %d steps, hydro instrumented) "

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <iostream>
@@ -21,10 +22,13 @@
 #include "mem/meminfo.hpp"
 #include "mem/page_size.hpp"
 #include "perf/events.hpp"
+#include "perf/perf_context.hpp"
 #include "perf/region.hpp"
-#include "perf/soft_counters.hpp"
+#include "perf/timers.hpp"
+#include "sim/driver.hpp"
 #include "support/string_util.hpp"
 #include "support/table_writer.hpp"
+#include "tlb/machine.hpp"
 
 namespace fhp::bench {
 
@@ -55,21 +59,51 @@ inline bool prepare_huge_pool(std::size_t bytes) {
   return granted.has_value() && *granted > 0;
 }
 
-/// Reset process-wide counters between arms.
-inline void reset_counters() {
-  perf::SoftCounters::instance().reset();
-  perf::RegionRegistry::instance().reset();
-}
+/// One experiment arm's instrumentation bundle: its own PerfContext (so
+/// arms cannot leak counters into each other and no reset() hygiene is
+/// needed), the machine model wired to it, the FLASH-style timers, and
+/// the host wall clock started at construction. All three table/figure
+/// benches build their arms on this so the per-arm boilerplate cannot
+/// drift between them.
+class ExperimentArm {
+ public:
+  ExperimentArm() : machine_({}, &perf_) {}
 
-/// Compute the arm's measures for \p region_name after a run.
-inline void finish_arm(ArmResult& arm, const std::string& region_name) {
-  const perf::RegionStats stats =
-      perf::RegionRegistry::instance().get(region_name);
-  arm.measures = perf::derive_measures(stats.totals, kClockHz);
-  const perf::CounterSet totals = perf::SoftCounters::instance().snapshot();
-  arm.flash_timer =
-      static_cast<double>(totals[perf::Event::kCycles]) / kClockHz;
-}
+  [[nodiscard]] perf::PerfContext& perf() noexcept { return perf_; }
+  [[nodiscard]] tlb::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] perf::Timers& timers() noexcept { return timers_; }
+
+  /// DriverUnits with the machine and perf context pre-wired; callers
+  /// add flame/gravity/eos_trace as the workload needs.
+  [[nodiscard]] sim::DriverUnits units() noexcept {
+    sim::DriverUnits u;
+    u.machine = &machine_;
+    u.perf = &perf_;
+    return u;
+  }
+
+  /// Derive the arm's measures for \p region_name; stamps the wall clock.
+  [[nodiscard]] ArmResult finish(const std::string& region_name) const {
+    ArmResult arm;
+    const perf::RegionStats stats = perf_.regions().get(region_name);
+    arm.measures = perf::derive_measures(stats.totals, kClockHz);
+    const perf::CounterSet totals = perf_.snapshot();
+    arm.flash_timer =
+        static_cast<double>(totals[perf::Event::kCycles]) / kClockHz;
+    arm.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0_)
+            .count();
+    return arm;
+  }
+
+ private:
+  perf::PerfContext perf_;
+  tlb::Machine machine_;
+  perf::Timers timers_;
+  std::chrono::steady_clock::time_point wall0_ =
+      std::chrono::steady_clock::now();
+};
 
 /// Print the table in the paper's layout, with the published values as a
 /// side-by-side reference, plus the ratio column of Figure 1.

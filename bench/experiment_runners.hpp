@@ -2,27 +2,28 @@
 /// \brief The two experiment arms (EOS / 3-d Hydro) as reusable functions.
 ///
 /// bench_table1_eos, bench_table2_hydro and bench_fig1_ratios all run the
-/// same two workloads; this header holds the single implementation.
+/// same two workloads; this header holds the single implementation. Each
+/// arm builds on ExperimentArm (its own PerfContext + machine + timers),
+/// and takes a \p threads lane count for the block-parallel sweeps —
+/// modeled counters are bit-identical across thread counts because
+/// tracing replays serially into the arm's machine model.
 
 #pragma once
 
-#include <chrono>
-
 #include "experiment_common.hpp"
 #include "hydro/hydro.hpp"
-#include "perf/timers.hpp"
-#include "sim/driver.hpp"
+#include "par/parallel.hpp"
 #include "sim/sedov.hpp"
 #include "sim/supernova.hpp"
-#include "tlb/machine.hpp"
 
 namespace fhp::bench {
 
 /// One arm of the EOS experiment (2-d supernova, EOS instrumented).
 inline ArmResult run_eos_arm(mem::HugePolicy policy, int nsteps,
-                             int max_level, int sample) {
-  reset_counters();
-  const auto wall0 = std::chrono::steady_clock::now();
+                             int max_level, int sample,
+                             int threads = par::threads()) {
+  par::set_threads(threads);
+  ExperimentArm arm;
 
   sim::SupernovaParams params;
   params.max_level = max_level;
@@ -36,40 +37,35 @@ inline ArmResult run_eos_arm(mem::HugePolicy policy, int nsteps,
   hydro::HydroSolver hydro(mesh, setup.eos(), hopt);
   hydro.set_composition_fn(setup.composition_fn());
 
-  perf::Timers timers;
-  tlb::Machine machine;
   sim::DriverOptions dopt;
   dopt.nsteps = nsteps;
   dopt.trace_sample = sample;
   dopt.verbose = false;
   dopt.refine_vars = {mesh::var::kDens,
                       mesh::var::kFirstScalar + sim::snvar::kPhi};
-  sim::Driver driver(mesh, hydro, timers, dopt);
-  driver.set_flame(&setup.flame());
-  driver.set_gravity(&setup.gravity());
-  driver.set_machine(&machine);
-  driver.set_eos_trace(
-      [&setup](tlb::Tracer& t, int b) { setup.trace_eos_block(t, b); });
+  sim::DriverUnits units = arm.units();
+  units.flame = &setup.flame();
+  units.gravity = &setup.gravity();
+  units.eos_trace =
+      [&setup](tlb::Tracer& t, int b) { setup.trace_eos_block(t, b); };
+  sim::Driver driver(mesh, hydro, arm.timers(), dopt, units);
 
   driver.evolve();
 
-  ArmResult arm;
-  finish_arm(arm, "eos");
-  arm.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - wall0)
-                         .count();
-  arm.backing = mesh.unk().region().describe() + " + table " +
-                setup.table().region().describe();
-  arm.resident_huge = mesh.unk().region().resident_huge_bytes() +
-                      setup.table().region().resident_huge_bytes();
-  return arm;
+  ArmResult result = arm.finish("eos");
+  result.backing = mesh.unk().region().describe() + " + table " +
+                   setup.table().region().describe();
+  result.resident_huge = mesh.unk().region().resident_huge_bytes() +
+                         setup.table().region().resident_huge_bytes();
+  return result;
 }
 
 /// One arm of the 3-d Hydro experiment (Sedov, hydro instrumented).
 inline ArmResult run_hydro_arm(mem::HugePolicy policy, int nsteps,
-                               int max_level, int sample) {
-  reset_counters();
-  const auto wall0 = std::chrono::steady_clock::now();
+                               int max_level, int sample,
+                               int threads = par::threads()) {
+  par::set_threads(threads);
+  ExperimentArm arm;
 
   sim::SedovParams params;
   params.max_level = max_level;
@@ -81,31 +77,25 @@ inline ArmResult run_hydro_arm(mem::HugePolicy policy, int nsteps,
   hopt.cfl = 0.6;
   hydro::HydroSolver hydro(mesh, setup.eos(), hopt);
 
-  perf::Timers timers;
-  tlb::Machine machine;
   sim::DriverOptions dopt;
   dopt.nsteps = nsteps;
   dopt.trace_sample = sample;
   dopt.verbose = false;
-  sim::Driver driver(mesh, hydro, timers, dopt);
-  driver.set_machine(&machine);
-  driver.set_eos_trace([&mesh](tlb::Tracer& t, int b) {
+  sim::DriverUnits units = arm.units();
+  units.eos_trace = [&mesh](tlb::Tracer& t, int b) {
     const mesh::MeshConfig& c = mesh.config();
     mesh.unk().trace_sweep(t, b, c.ilo(), c.ihi(), c.jlo(), c.jhi(), c.klo(),
                            c.khi(), 8, 6);
     t.compute(static_cast<std::uint64_t>(c.nxb) * c.nyb * c.nzb * 40, 0);
-  });
+  };
+  sim::Driver driver(mesh, hydro, arm.timers(), dopt, units);
 
   driver.evolve();
 
-  ArmResult arm;
-  finish_arm(arm, "hydro");
-  arm.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - wall0)
-                         .count();
-  arm.backing = mesh.unk().region().describe();
-  arm.resident_huge = mesh.unk().region().resident_huge_bytes();
-  return arm;
+  ArmResult result = arm.finish("hydro");
+  result.backing = mesh.unk().region().describe();
+  result.resident_huge = mesh.unk().region().resident_huge_bytes();
+  return result;
 }
 
 }  // namespace fhp::bench

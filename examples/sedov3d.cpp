@@ -6,12 +6,15 @@
 /// spherically averaged density/pressure profile to sedov_profile.csv.
 ///
 /// Usage: sedov3d [--nsteps=N] [--max_level=L] [--policy=none|thp|hugetlbfs]
+///                [--par.threads=T]
 
 #include <fstream>
 #include <iostream>
 
 #include "hydro/hydro.hpp"
 #include "mem/huge_policy.hpp"
+#include "par/parallel.hpp"
+#include "perf/perf_context.hpp"
 #include "perf/report.hpp"
 #include "perf/timers.hpp"
 #include "sim/driver.hpp"
@@ -27,7 +30,9 @@ int main(int argc, char** argv) {
   rp.declare_string("policy", "none", "huge-page policy (none|thp|hugetlbfs)");
   rp.declare_string("outfile", "sedov_profile.csv", "profile output path");
   rp.declare_bool("trace", false, "feed the machine model and print a report");
+  par::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  par::apply_runtime_params(rp);
 
   const auto policy = mem::parse_huge_policy(rp.get_string("policy"));
   if (!policy) {
@@ -43,15 +48,20 @@ int main(int argc, char** argv) {
 
   hydro::HydroSolver hydro(setup.mesh(), setup.eos());
   perf::Timers timers;
-  tlb::Machine machine;
+  perf::PerfContext perf;
+  tlb::Machine machine({}, &perf);
   sim::DriverOptions opts;
   opts.nsteps = static_cast<int>(rp.get_int("nsteps"));
   const bool trace = rp.get_bool("trace");
   opts.trace_sample = trace ? 4 : 0;
-  sim::Driver driver(setup.mesh(), hydro, timers, opts);
-  if (trace) driver.set_machine(&machine);
+  sim::DriverUnits units;
+  if (trace) {
+    units.machine = &machine;
+    units.perf = &perf;
+  }
+  sim::Driver driver(setup.mesh(), hydro, timers, opts, units);
   driver.evolve();
-  if (trace) perf::RegionReport().render(std::cout);
+  if (trace) perf::RegionReport(perf, 1.8e9).render(std::cout);
 
   // Validate against the similarity solution.
   sim::RadialProfile profile(setup.mesh(), {0.5, 0.5, 0.5}, 120,

@@ -8,12 +8,14 @@
 ///
 /// Usage: supernova2d [--nsteps=N] [--max_level=L]
 ///                    [--policy=none|thp|hugetlbfs] [--rho_c=2e9]
+///                    [--par.threads=T]
 
 #include <fstream>
 #include <iostream>
 
 #include "hydro/hydro.hpp"
 #include "mem/huge_policy.hpp"
+#include "par/parallel.hpp"
 #include "perf/timers.hpp"
 #include "sim/driver.hpp"
 #include "sim/profiles.hpp"
@@ -28,7 +30,9 @@ int main(int argc, char** argv) {
   rp.declare_string("policy", "none", "huge-page policy (none|thp|hugetlbfs)");
   rp.declare_real("rho_c", 2.0e9, "central density [g/cc]");
   rp.declare_string("outfile", "wd_profile.csv", "profile output path");
+  par::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  par::apply_runtime_params(rp);
 
   const auto policy = mem::parse_huge_policy(rp.get_string("policy"));
   if (!policy) {
@@ -59,9 +63,10 @@ int main(int argc, char** argv) {
   opts.trace_sample = 0;
   opts.refine_vars = {mesh::var::kDens,
                       mesh::var::kFirstScalar + sim::snvar::kPhi};
-  sim::Driver driver(setup.mesh(), hydro, timers, opts);
-  driver.set_flame(&setup.flame());
-  driver.set_gravity(&setup.gravity());
+  sim::DriverUnits units;
+  units.flame = &setup.flame();
+  units.gravity = &setup.gravity();
+  sim::Driver driver(setup.mesh(), hydro, timers, opts, units);
 
   const double mass0 = setup.mesh().integrate(mesh::var::kDens);
   driver.evolve();

@@ -49,12 +49,20 @@ struct State {
 };
 
 /// Abstract EOS: evaluate a row of states in the given mode.
+///
+/// Thread-safety contract: eval() is const and implementations MUST be
+/// safe to call concurrently from multiple threads on disjoint rows —
+/// the block-parallel sweeps (fhp::par) evaluate one row per lane with
+/// no locking. Any lookup tables or coefficients must be immutable after
+/// construction; per-evaluation scratch belongs in the caller's row, not
+/// in mutable members.
 class Eos {
  public:
   virtual ~Eos() = default;
 
   /// Fill every state in \p row consistently with \p mode's inputs.
   /// Throws fhp::NumericsError on unphysical inputs or non-convergence.
+  /// Must be callable concurrently on disjoint rows (see class comment).
   virtual void eval(Mode mode, std::span<State> row) const = 0;
 
   /// Convenience scalar form.

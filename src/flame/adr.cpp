@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/parallel.hpp"
 #include "support/error.hpp"
 
 namespace fhp::flame {
@@ -21,27 +22,45 @@ AdrFlame::AdrFlame(mesh::AmrMesh& mesh, const FlameSpeedTable& speeds,
   FHP_REQUIRE(options_.fuel_scalar < c.nscalars &&
                   options_.ash_scalar < c.nscalars,
               "fuel/ash scalar slots outside nscalars");
-  phi_new_.resize(static_cast<std::size_t>(c.ni()) *
+  scratch_size_ = static_cast<std::size_t>(c.ni()) *
                   static_cast<std::size_t>(c.nj()) *
-                  static_cast<std::size_t>(c.nk()));
+                  static_cast<std::size_t>(c.nk());
 }
 
 void AdrFlame::advance(double dt) {
+  const std::vector<int> leaves = mesh_.tree().leaves_morton();
+  const auto lanes = static_cast<std::size_t>(par::threads());
+  // Per-lane phi scratch, plus a per-block slot for the energy partial:
+  // the serial leaf-order sum below makes the total independent of the
+  // lane/timing in which blocks completed.
+  std::vector<std::vector<double>> scratch(
+      lanes, std::vector<double>(scratch_size_));
+  std::vector<double> block_energy(leaves.size(), 0.0);
+  par::parallel_for(leaves.size(), [&](int lane, std::size_t n) {
+    block_energy[n] =
+        advance_block(leaves[n], dt, scratch[static_cast<std::size_t>(lane)]);
+  });
+  for (const double e : block_energy) energy_released_ += e;
+}
+
+double AdrFlame::advance_block(int b, double dt,
+                               std::vector<double>& phi_new) {
   const mesh::MeshConfig& c = mesh_.config();
   mesh::UnkContainer& unk = mesh_.unk();
   const int vphi = kFirstScalar + options_.phi_scalar;
   const int vfuel = kFirstScalar + options_.fuel_scalar;
   const int vash = kFirstScalar + options_.ash_scalar;
+  double energy = 0.0;
 
   auto scratch = [&](int i, int j, int k) -> double& {
-    return phi_new_[static_cast<std::size_t>(i) +
-                    static_cast<std::size_t>(c.ni()) *
-                        (static_cast<std::size_t>(j) +
-                         static_cast<std::size_t>(c.nj()) *
-                             static_cast<std::size_t>(k))];
+    return phi_new[static_cast<std::size_t>(i) +
+                   static_cast<std::size_t>(c.ni()) *
+                       (static_cast<std::size_t>(j) +
+                        static_cast<std::size_t>(c.nj()) *
+                            static_cast<std::size_t>(k))];
   };
 
-  for (int b : mesh_.tree().leaves_morton()) {
+  {
     const double hx = mesh_.dx(b, 0);
 
     for (int k = c.klo(); k < c.khi(); ++k) {
@@ -119,11 +138,12 @@ void AdrFlame::advance(double dt) {
           unk.at(kEner, i, j, k, b) += dq;
           unk.at(kEint, i, j, k, b) += dq;
           const double rho = unk.at(kDens, i, j, k, b);
-          energy_released_ += dq * rho * mesh_.cell_volume(b, i, j, k);
+          energy += dq * rho * mesh_.cell_volume(b, i, j, k);
         }
       }
     }
   }
+  return energy;
 }
 
 void AdrFlame::trace_advance_block(tlb::Tracer& tracer, int b) const {

@@ -47,7 +47,10 @@ class AdrFlame {
 
   /// One explicit diffusion-reaction step of dt on every leaf. Guard
   /// cells must be current. Deposits nuclear energy into ener/eint and
-  /// converts fuel to ash where phi advanced.
+  /// converts fuel to ash where phi advanced. Runs block-parallel over
+  /// `par::threads()` lanes; each block touches only its own storage,
+  /// and per-block energy partials are summed serially in leaf order so
+  /// the released-energy total is identical for every thread count.
   void advance(double dt);
 
   /// Total nuclear energy released so far [erg].
@@ -61,11 +64,15 @@ class AdrFlame {
   void trace_advance_block(tlb::Tracer& tracer, int b) const;
 
  private:
+  /// Both passes over one block; \p phi_new is per-lane scratch. Returns
+  /// the block's released energy [erg].
+  double advance_block(int b, double dt, std::vector<double>& phi_new);
+
   mesh::AmrMesh& mesh_;
   const FlameSpeedTable& speeds_;
   AdrOptions options_;
   double energy_released_ = 0.0;
-  std::vector<double> phi_new_;  ///< scratch: updated phi for one block
+  std::size_t scratch_size_ = 0;  ///< zones (incl. guards) per block
 };
 
 }  // namespace fhp::flame

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hydro/riemann.hpp"
+#include "par/parallel.hpp"
 #include "support/error.hpp"
 
 namespace fhp::hydro {
@@ -100,31 +101,44 @@ double* HydroSolver::flux_entry(int block, int side, int v, int t1,
          static_cast<std::size_t>(t1);
 }
 
-double HydroSolver::compute_dt() const {
+double HydroSolver::block_dt(int b) const {
   const mesh::MeshConfig& c = mesh_.config();
   const mesh::UnkContainer& unk = mesh_.unk();
   double dt = std::numeric_limits<double>::max();
-  for (int b : mesh_.tree().leaves_morton()) {
-    std::array<double, 3> h{mesh_.dx(b, 0),
-                            c.ndim >= 2 ? mesh_.dx(b, 1) : 1e300,
-                            c.ndim >= 3 ? mesh_.dx(b, 2) : 1e300};
-    for (int k = c.klo(); k < c.khi(); ++k) {
-      for (int j = c.jlo(); j < c.jhi(); ++j) {
-        for (int i = c.ilo(); i < c.ihi(); ++i) {
-          const double rho = unk.at(kDens, i, j, k, b);
-          const double p = unk.at(kPres, i, j, k, b);
-          const double gamc = unk.at(kGamc, i, j, k, b);
-          const double cs = std::sqrt(std::max(0.0, gamc * p / rho));
-          const double vx = std::fabs(unk.at(kVelx, i, j, k, b));
-          const double vy = std::fabs(unk.at(kVely, i, j, k, b));
-          const double vz = std::fabs(unk.at(kVelz, i, j, k, b));
-          dt = std::min(dt, h[0] / (vx + cs));
-          if (c.ndim >= 2) dt = std::min(dt, h[1] / (vy + cs));
-          if (c.ndim >= 3) dt = std::min(dt, h[2] / (vz + cs));
-        }
+  std::array<double, 3> h{mesh_.dx(b, 0),
+                          c.ndim >= 2 ? mesh_.dx(b, 1) : 1e300,
+                          c.ndim >= 3 ? mesh_.dx(b, 2) : 1e300};
+  for (int k = c.klo(); k < c.khi(); ++k) {
+    for (int j = c.jlo(); j < c.jhi(); ++j) {
+      for (int i = c.ilo(); i < c.ihi(); ++i) {
+        const double rho = unk.at(kDens, i, j, k, b);
+        const double p = unk.at(kPres, i, j, k, b);
+        const double gamc = unk.at(kGamc, i, j, k, b);
+        const double cs = std::sqrt(std::max(0.0, gamc * p / rho));
+        const double vx = std::fabs(unk.at(kVelx, i, j, k, b));
+        const double vy = std::fabs(unk.at(kVely, i, j, k, b));
+        const double vz = std::fabs(unk.at(kVelz, i, j, k, b));
+        dt = std::min(dt, h[0] / (vx + cs));
+        if (c.ndim >= 2) dt = std::min(dt, h[1] / (vy + cs));
+        if (c.ndim >= 3) dt = std::min(dt, h[2] / (vz + cs));
       }
     }
   }
+  return dt;
+}
+
+double HydroSolver::compute_dt() const {
+  const std::vector<int> leaves = mesh_.tree().leaves_morton();
+  // Per-lane partial minima; min is exact and commutative, so the
+  // lane-then-serial combine equals the serial scan bit for bit.
+  std::vector<double> lane_dt(static_cast<std::size_t>(par::threads()),
+                              std::numeric_limits<double>::max());
+  par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    auto& slot = lane_dt[static_cast<std::size_t>(lane)];
+    slot = std::min(slot, block_dt(b));
+  });
+  double dt = std::numeric_limits<double>::max();
+  for (const double d : lane_dt) dt = std::min(dt, d);
   FHP_CHECK(dt > 0.0 && dt < std::numeric_limits<double>::max(),
             "CFL produced a non-positive or unbounded dt");
   return options_.cfl * dt;
@@ -145,11 +159,18 @@ void HydroSolver::step(double dt) {
 
 void HydroSolver::sweep(int axis, double dt) {
   FHP_REQUIRE(axis >= 0 && axis < mesh_.config().ndim, "bad sweep axis");
-  PencilBuffers buf(mesh_.config());
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
-  for (int b : leaves) {
-    sweep_block(axis, dt, b, buf);
-  }
+  // One scratch set per lane; sweep_block touches only block b's storage
+  // and b's own flux-register slots, so blocks are independent.
+  std::vector<PencilBuffers> bufs;
+  bufs.reserve(static_cast<std::size_t>(par::threads()));
+  for (int l = 0; l < par::threads(); ++l) bufs.emplace_back(mesh_.config());
+  par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    sweep_block(axis, dt, b, bufs[static_cast<std::size_t>(lane)]);
+  });
+  // Fine-coarse conservation reads fine-block registers written above and
+  // touches coarse cells next to refinement boundaries: serial, after the
+  // sweep barrier.
   if (options_.flux_correct) apply_flux_corrections(axis, dt);
 }
 
@@ -538,10 +559,21 @@ void HydroSolver::apply_flux_corrections(int axis, double dt) {
 
 void HydroSolver::eos_update() {
   const mesh::MeshConfig& c = mesh_.config();
-  mesh::UnkContainer& unk = mesh_.unk();
-  std::vector<eos::State> row(static_cast<std::size_t>(c.nxb));
+  const std::vector<int> leaves = mesh_.tree().leaves_morton();
+  // Per-lane row scratch; Eos::eval is const (pure per-zone), so the
+  // block pass is embarrassingly parallel.
+  std::vector<std::vector<eos::State>> rows(
+      static_cast<std::size_t>(par::threads()),
+      std::vector<eos::State>(static_cast<std::size_t>(c.nxb)));
+  par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    eos_update_block(b, rows[static_cast<std::size_t>(lane)]);
+  });
+}
 
-  for (int b : mesh_.tree().leaves_morton()) {
+void HydroSolver::eos_update_block(int b, std::vector<eos::State>& row) {
+  const mesh::MeshConfig& c = mesh_.config();
+  mesh::UnkContainer& unk = mesh_.unk();
+  {
     for (int k = c.klo(); k < c.khi(); ++k) {
       for (int j = c.jlo(); j < c.jhi(); ++j) {
         for (int i = c.ilo(); i < c.ihi(); ++i) {

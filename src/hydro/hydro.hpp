@@ -55,12 +55,16 @@ class HydroSolver {
   /// alternates each step, Strang-style) + flux correction + EOS update.
   void step(double dt);
 
-  /// One directional sweep over all leaves (exposed for tests).
+  /// One directional sweep over all leaves (exposed for tests). Blocks
+  /// are distributed over `par::threads()` lanes: each block's update
+  /// reads only its own (pre-filled) storage and writes only its own
+  /// interior and flux-register slots, so the parallel sweep is
+  /// bit-identical to the serial one.
   void sweep(int axis, double dt);
 
   /// Re-establish EOS consistency from (rho, ener, velocities): sets
   /// eint, pres, temp, gamc, game zone by zone (FLASH's Eos_wrapped on
-  /// MODE_DENS_EI).
+  /// MODE_DENS_EI). Runs block-parallel over `par::threads()` lanes.
   void eos_update();
 
   void set_composition_fn(CompositionFn fn) { composition_ = std::move(fn); }
@@ -80,6 +84,12 @@ class HydroSolver {
 
   void sweep_block(int axis, double dt, int b, PencilBuffers& buf);
   void apply_flux_corrections(int axis, double dt);
+
+  /// CFL-limited dt of one leaf block (exact, order-independent min).
+  [[nodiscard]] double block_dt(int b) const;
+
+  /// Eos_wrapped pass over one leaf block; \p row is per-lane scratch.
+  void eos_update_block(int b, std::vector<eos::State>& row);
 
   [[nodiscard]] int ncons() const noexcept {
     return 5 + mesh_.config().nscalars;

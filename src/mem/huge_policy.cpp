@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/error.hpp"
+#include "support/runtime_params.hpp"
 #include "support/string_util.hpp"
 
 namespace fhp::mem {
@@ -61,6 +62,26 @@ HugePolicy default_policy() {
 
 void set_default_policy(HugePolicy policy) noexcept {
   g_default_policy.store(static_cast<int>(policy), std::memory_order_release);
+}
+
+void declare_runtime_params(RuntimeParams& params) {
+  params.declare_string(kPolicyParamName, "",
+                        "huge-page policy (none|thp|hugetlbfs; empty: "
+                        "resolve from " +
+                            std::string(kPolicyEnvVar) + " / " +
+                            kFujitsuPolicyEnvVar + ")");
+}
+
+void apply_runtime_params(const RuntimeParams& params) {
+  const std::string value = params.get_string(kPolicyParamName);
+  if (value.empty()) return;
+  const auto parsed = parse_huge_policy(value);
+  if (!parsed) {
+    throw ConfigError(std::string(kPolicyParamName) + "='" + value +
+                      "' is not a valid page policy "
+                      "(expected none|thp|hugetlbfs)");
+  }
+  set_default_policy(*parsed);
 }
 
 }  // namespace fhp::mem

@@ -5,14 +5,33 @@
 /// XOS_MMM_L_HPAGE_TYPE environment variable (values none / hugetlbfs, with
 /// thp additionally accepted on Fugaku/FX700 per the paper §III): one
 /// setting flips every large allocation in the process between page
-/// regimes with no source changes. flashhp reads FLASHHP_HPAGE_TYPE first
-/// and falls back to XOS_MMM_L_HPAGE_TYPE for drop-in compatibility.
+/// regimes with no source changes.
+///
+/// There is exactly ONE resolution order for the process default, and
+/// every entry point (environment, runtime-parameter files, explicit
+/// calls) feeds into it. First hit wins:
+///
+///   1. an explicit set_default_policy() call — including the one made by
+///      apply_runtime_params() when a parameter file / command line sets
+///      a non-empty "mem.hpage_type",
+///   2. the FLASHHP_HPAGE_TYPE environment variable,
+///   3. the XOS_MMM_L_HPAGE_TYPE environment variable (drop-in
+///      compatibility with the Fujitsu runtime),
+///   4. the caller-supplied fallback (kNone for default_policy()).
+///
+/// An unparsable value at any stage throws fhp::ConfigError rather than
+/// silently running on base pages — silent misconfiguration was exactly
+/// the failure mode the paper spent a section debugging.
 
 #pragma once
 
 #include <optional>
 #include <string>
 #include <string_view>
+
+namespace fhp {
+class RuntimeParams;
+}  // namespace fhp
 
 namespace fhp::mem {
 
@@ -33,18 +52,32 @@ enum class HugePolicy {
 inline constexpr const char* kPolicyEnvVar = "FLASHHP_HPAGE_TYPE";
 inline constexpr const char* kFujitsuPolicyEnvVar = "XOS_MMM_L_HPAGE_TYPE";
 
-/// Resolve the policy from the environment: FLASHHP_HPAGE_TYPE, then
-/// XOS_MMM_L_HPAGE_TYPE, then the given default. An unparsable value
-/// throws fhp::ConfigError (silent misconfiguration was exactly the
-/// failure mode the paper spent a section debugging).
+/// Steps 2-4 of the resolution order (see file comment): the environment
+/// variables in precedence order, then \p fallback. Throws ConfigError on
+/// an unparsable value.
 [[nodiscard]] HugePolicy policy_from_environment(
     HugePolicy fallback = HugePolicy::kNone);
 
-/// Process-wide default policy used by Arena when none is given explicitly.
-/// Initialized lazily from policy_from_environment(kNone).
+/// Process-wide default policy used by Arena when none is given
+/// explicitly. The policy slot is a single atomic, initialized lazily via
+/// the documented resolution order; concurrent first readers race only on
+/// writing the same resolved value.
 [[nodiscard]] HugePolicy default_policy();
 
-/// Override the process-wide default (e.g. from a runtime parameter file).
+/// Step 1 of the resolution order: pin the process-wide default,
+/// overriding whatever the environment says from now on.
 void set_default_policy(HugePolicy policy) noexcept;
+
+/// Name of the runtime parameter declared by declare_runtime_params().
+inline constexpr const char* kPolicyParamName = "mem.hpage_type";
+
+/// Declare "mem.hpage_type" (default "": defer to the environment) so
+/// parameter files and --mem.hpage_type=... share the one resolution
+/// order instead of growing a second, subtly different one.
+void declare_runtime_params(RuntimeParams& params);
+
+/// If "mem.hpage_type" was set non-empty, parse it (ConfigError on junk)
+/// and pin it via set_default_policy(). Call after apply_command_line().
+void apply_runtime_params(const RuntimeParams& params);
 
 }  // namespace fhp::mem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/parallel.hpp"
 #include "support/contracts.hpp"
 
 namespace fhp::mesh {
@@ -252,30 +253,39 @@ void AmrMesh::apply_boundaries(int b) {
   }
 }
 
-void AmrMesh::fill_guardcells() {
-  restrict_all();
-  const int finest = tree_.finest_level();
-  for (int level = 1; level <= finest; ++level) {
-    for (int b : tree_.blocks_at_level(level)) {
-      const int zlo = config_.ndim >= 3 ? -1 : 0;
-      const int zhi = config_.ndim >= 3 ? 1 : 0;
-      for (int dz = zlo; dz <= zhi; ++dz) {
-        for (int dy = -1; dy <= 1; ++dy) {
-          for (int dx_ = -1; dx_ <= 1; ++dx_) {
-            if (dx_ == 0 && dy == 0 && dz == 0) continue;
-            const std::array<int, 3> step{dx_, dy, dz};
-            const NeighborQuery q = tree_.neighbor(b, step);
-            if (q.outside_domain) continue;  // physical BC pass below
-            if (q.id >= 0) {
-              copy_same_level(b, q.id, step);
-            } else {
-              fill_from_coarse(b, step);
-            }
-          }
+void AmrMesh::fill_block_guards(int b) {
+  const int zlo = config_.ndim >= 3 ? -1 : 0;
+  const int zhi = config_.ndim >= 3 ? 1 : 0;
+  for (int dz = zlo; dz <= zhi; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx_ = -1; dx_ <= 1; ++dx_) {
+        if (dx_ == 0 && dy == 0 && dz == 0) continue;
+        const std::array<int, 3> step{dx_, dy, dz};
+        const NeighborQuery q = tree_.neighbor(b, step);
+        if (q.outside_domain) continue;  // physical BC pass below
+        if (q.id >= 0) {
+          copy_same_level(b, q.id, step);
+        } else {
+          fill_from_coarse(b, step);
         }
       }
-      apply_boundaries(b);
     }
+  }
+  apply_boundaries(b);
+}
+
+void AmrMesh::fill_guardcells() {
+  restrict_all();  // serial: parent interiors feed fill_from_coarse below
+  const int finest = tree_.finest_level();
+  for (int level = 1; level <= finest; ++level) {
+    // Within one level the exchange is block-parallel: fill_block_guards
+    // writes only block b's guard zones and reads neighbor *interiors*
+    // (same level, never written in this pass) or coarser-level data
+    // (finalized by earlier level iterations).
+    const std::vector<int>& blocks = tree_.blocks_at_level(level);
+    par::parallel_for_blocks(blocks, [&](int /*lane*/, int b) {
+      fill_block_guards(b);
+    });
   }
 }
 

@@ -60,6 +60,8 @@ class AmrMesh {
   // --- mesh operations ---------------------------------------------------
   /// Fill every guard cell of every allocated block (restriction first,
   /// then level-ordered exchange/interpolation, then physical BCs).
+  /// Within each level the per-block exchange runs block-parallel over
+  /// `par::threads()` lanes.
   void fill_guardcells();
 
   /// Restrict leaf data into all ancestors (volume-weighted).
@@ -106,6 +108,11 @@ class AmrMesh {
   [[nodiscard]] double integrate_product(int v1, int v2) const;
 
  private:
+  /// Fill every guard zone of one block (same-level copies, coarse
+  /// interpolation, physical BCs). Writes only \p b's guards and reads
+  /// only neighbor interiors / coarser levels, so blocks of one level
+  /// can run on different lanes concurrently.
+  void fill_block_guards(int b);
   /// Fill the guards of one block in one direction from a same-level
   /// source block (handles periodic shifts implicitly via index copy).
   void copy_same_level(int dst, int src, const std::array<int, 3>& step);

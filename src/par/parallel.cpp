@@ -1,0 +1,217 @@
+#include "par/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/runtime_params.hpp"
+
+namespace fhp::par {
+namespace {
+
+/// Lane of the executing thread. Workers overwrite this once at start;
+/// every other thread (including the region's caller) reads the default.
+thread_local int t_lane = 0;
+
+/// Persistent worker pool. Workers sleep on a condition variable between
+/// regions; a region is published as a monotonically increasing
+/// generation number plus a task body, and completion is counted back
+/// under the same mutex. std::mutex (not fhp::Mutex) because
+/// std::condition_variable requires it; the lock discipline here is
+/// local to this file.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int lanes) : lanes_(lanes) {
+    workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+    for (int lane = 1; lane < lanes_; ++lane) {
+      workers_.emplace_back([this, lane] { worker_main(lane); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+  /// Runs `fn(lane, i)` for i in [0, n), lane l covering the static
+  /// chunk [l*n/L, (l+1)*n/L). Rethrows the first captured exception.
+  void run(std::size_t n, const std::function<void(int, std::size_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_fn_ = &fn;
+      task_n_ = n;
+      pending_ = lanes_ - 1;
+      first_error_ = nullptr;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+
+    run_chunk(0, n, fn);  // the caller participates as lane 0
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    task_fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  void worker_main(int lane) {
+    t_lane = lane;
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int, std::size_t)>* fn = nullptr;
+      std::size_t n = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        start_cv_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = task_fn_;
+        n = task_n_;
+      }
+      try {
+        run_chunk(lane, n, *fn);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --pending_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  void run_chunk(int lane, std::size_t n,
+                 const std::function<void(int, std::size_t)>& fn) const {
+    const auto lanes = static_cast<std::size_t>(lanes_);
+    const auto l = static_cast<std::size_t>(lane);
+    const std::size_t begin = l * n / lanes;
+    const std::size_t end = (l + 1) * n / lanes;
+    for (std::size_t i = begin; i < end; ++i) fn(lane, i);
+  }
+
+  const int lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, std::size_t)>* task_fn_ = nullptr;
+  std::size_t task_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Configured lane count; -1 means "not yet resolved from environment".
+std::atomic<int> g_threads{-1};
+
+/// The lazily built pool. Guarded by g_pool_mutex for the (setup-time)
+/// rebuild; steady-state regions only read the pointer.
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // NOLINT(cert-err58-cpp)
+
+int clamp_lanes(int n) {
+  if (n < 1) return 1;
+  if (n > kMaxLanes) return kMaxLanes;
+  return n;
+}
+
+int resolved_threads() {
+  int current = g_threads.load(std::memory_order_acquire);
+  if (current > 0) return current;
+  const int from_env = threads_from_environment(1);
+  int expected = -1;
+  if (g_threads.compare_exchange_strong(expected, from_env,
+                                        std::memory_order_acq_rel)) {
+    return from_env;
+  }
+  return expected;
+}
+
+/// Returns the pool sized for the current thread count, rebuilding it if
+/// the count changed since the last region. Null when serial.
+ThreadPool* pool_for(int lanes) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (lanes <= 1) {
+    g_pool.reset();
+    return nullptr;
+  }
+  if (!g_pool || g_pool->lanes() != lanes) {
+    g_pool.reset();  // join the old workers before spawning new ones
+    g_pool = std::make_unique<ThreadPool>(lanes);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int threads_from_environment(int fallback) {
+  const char* raw = std::getenv(kThreadsEnvVar);
+  if (raw == nullptr || *raw == '\0') return clamp_lanes(fallback);
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 1) {
+    throw ConfigError(std::string(kThreadsEnvVar) + "='" + raw +
+                      "': expected a positive integer thread count");
+  }
+  return clamp_lanes(static_cast<int>(value));
+}
+
+int threads() { return resolved_threads(); }
+
+void set_threads(int n) {
+  g_threads.store(clamp_lanes(n), std::memory_order_release);
+}
+
+int lane() { return t_lane; }
+
+void declare_runtime_params(RuntimeParams& params) {
+  params.declare_int("par.threads", threads(),
+                     "worker lanes for block-parallel sweeps "
+                     "(FLASHHP_THREADS)");
+}
+
+void apply_runtime_params(const RuntimeParams& params) {
+  set_threads(static_cast<int>(params.get_int("par.threads")));
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(int lane, std::size_t i)>& fn) {
+  const int lanes = resolved_threads();
+  ThreadPool* pool = pool_for(lanes);
+  if (pool == nullptr || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  pool->run(n, fn);
+}
+
+void parallel_for_blocks(std::span<const int> blocks,
+                         const std::function<void(int lane, int block)>& fn) {
+  parallel_for(blocks.size(), [&](int lane, std::size_t i) {
+    fn(lane, blocks[i]);
+  });
+}
+
+}  // namespace fhp::par

@@ -1,0 +1,85 @@
+/// \file parallel.hpp
+/// \brief Block-sweep worker pool: `fhp::par::parallel_for_blocks`.
+///
+/// The paper's workloads are leaf-block sweeps over `unk` in which each
+/// block touches only its own storage (interior plus pre-filled guard
+/// cells), so the natural unit of parallelism is the block. This module
+/// provides a small persistent worker pool with *static chunking*: lane
+/// `i` of `L` processes the contiguous index range
+/// `[i*n/L, (i+1)*n/L)`. Static chunking is deliberate — the partition
+/// depends only on `(n, L)`, never on timing, which is one half of the
+/// bit-identical-across-thread-counts guarantee (the other half is that
+/// parallelized loops write only per-block data; see DESIGN.md
+/// "Threading model").
+///
+/// Thread count resolution order (highest wins):
+///   1. `set_threads()` / the `par.threads` runtime parameter,
+///   2. the `FLASHHP_THREADS` environment variable,
+///   3. the serial default of 1.
+///
+/// With `threads() == 1` every entry point degenerates to a plain serial
+/// loop on the calling thread — no pool is created, no locks are taken —
+/// so single-threaded builds pay nothing for this module's existence.
+///
+/// The pool is configured at setup time: calling `set_threads()` while a
+/// `parallel_for` is in flight on another thread is undefined. Within a
+/// parallel region the caller participates as lane 0 and workers are
+/// lanes `1..L-1`; `lane()` returns the executing thread's lane so
+/// per-lane scratch (pencil buffers, EOS rows, counter shards) can be
+/// indexed without synchronization.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace fhp {
+class RuntimeParams;
+}  // namespace fhp
+
+namespace fhp::par {
+
+/// Environment variable consulted by `threads_from_environment`.
+inline constexpr const char* kThreadsEnvVar = "FLASHHP_THREADS";
+
+/// Hard ceiling on the number of lanes (and thus counter shards).
+inline constexpr int kMaxLanes = 64;
+
+/// Parses `FLASHHP_THREADS`; returns `fallback` when unset. Throws
+/// `fhp::ConfigError` when set to a non-positive or non-numeric value.
+/// Values above `kMaxLanes` are clamped.
+[[nodiscard]] int threads_from_environment(int fallback = 1);
+
+/// The configured lane count (>= 1). Initialized lazily from
+/// `FLASHHP_THREADS` on first use unless `set_threads` ran earlier.
+[[nodiscard]] int threads();
+
+/// Sets the lane count for subsequent parallel regions. Clamped to
+/// `[1, kMaxLanes]`. Setup-time only: must not race a parallel region.
+void set_threads(int n);
+
+/// Lane of the calling thread: 0 for the caller (and for all serial
+/// code), `1..threads()-1` inside pool workers during a region.
+[[nodiscard]] int lane();
+
+/// Registers the `par.threads` runtime parameter (default: current
+/// `threads()` resolution, i.e. env-aware).
+void declare_runtime_params(RuntimeParams& params);
+
+/// Applies `par.threads` from `params` via `set_threads`.
+void apply_runtime_params(const RuntimeParams& params);
+
+/// Runs `fn(lane, i)` for every `i` in `[0, n)`, statically chunked
+/// across `threads()` lanes. Blocks until all lanes finish. The first
+/// exception thrown by any lane is rethrown on the caller after every
+/// lane has stopped. Must not be nested.
+void parallel_for(std::size_t n,
+                  const std::function<void(int lane, std::size_t i)>& fn);
+
+/// Runs `fn(lane, block)` for every block id in `blocks` (typically the
+/// mesh's leaf list), statically chunked across `threads()` lanes.
+void parallel_for_blocks(std::span<const int> blocks,
+                         const std::function<void(int lane, int block)>& fn);
+
+}  // namespace fhp::par

@@ -1,0 +1,10 @@
+#include "perf/perf_context.hpp"
+
+namespace fhp::perf {
+
+PerfContext& PerfContext::global() noexcept {
+  static PerfContext context;
+  return context;
+}
+
+}  // namespace fhp::perf

@@ -1,0 +1,111 @@
+/// \file perf_context.hpp
+/// \brief Explicit instrumentation context with per-lane counter shards.
+///
+/// PerfContext replaces the process-wide SoftCounters / RegionRegistry
+/// singletons with an object you construct, pass to the units that
+/// produce numbers (tlb::Machine, Driver, bench arms), and read results
+/// from. Two things motivated the redesign:
+///
+///   1. The block-parallel sweep engine (fhp::par) breaks the old
+///      single-kernel-thread contract. Counters are now *sharded*: each
+///      lane owns a cache-line-aligned shard and the hot-path increment
+///      is still exactly one unsynchronized add — no atomics, no false
+///      sharing. `snapshot()` sums the shards; uint64 addition is exact
+///      and order-independent, so totals are bit-identical regardless of
+///      how many lanes contributed (one half of the determinism
+///      guarantee; see DESIGN.md "Threading model").
+///   2. Benches and tests kept tripping over shared ambient state
+///      (`reset()` hygiene between arms). A context scopes counters to
+///      an experiment arm by construction.
+///
+/// Shard synchronization contract: lanes write only their own shard
+/// inside a `par::parallel_for` region, and `snapshot()`/`reset()` run
+/// outside any region on the thread that invoked it. The pool's
+/// start/finish handshake provides the happens-before edge from worker
+/// writes to the caller's reads, so this is data-race-free without
+/// atomics (the `tsan` preset enforces it).
+///
+/// The old singletons survive as deprecated compat shims forwarding to
+/// `PerfContext::global()` (see soft_counters.hpp); they will be removed
+/// one release after this one. New code must take a PerfContext.
+
+#pragma once
+
+#include <cstdint>
+
+#include "par/parallel.hpp"
+#include "perf/events.hpp"
+#include "perf/region.hpp"
+
+namespace fhp::perf {
+
+/// One lane's private counter block, padded to a cache line so
+/// neighboring lanes never write-share.
+struct alignas(64) CounterShard {
+  std::uint64_t values[kNumEvents] = {};
+};
+
+/// An instrumentation scope: sharded software counters plus the region
+/// registry that PerfRegions commit into.
+class PerfContext {
+ public:
+  PerfContext() = default;
+  PerfContext(const PerfContext&) = delete;
+  PerfContext& operator=(const PerfContext&) = delete;
+
+  /// Add \p amount to \p event on the calling lane's shard. One add.
+  void add(Event event, std::uint64_t amount) noexcept {
+    shards_[static_cast<std::size_t>(par::lane())]
+        .values[static_cast<std::size_t>(event)] += amount;
+  }
+
+  /// Bulk add (one call per committed machine-model quantum).
+  void add_all(const CounterSet& delta) noexcept {
+    CounterShard& shard = shards_[static_cast<std::size_t>(par::lane())];
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+      shard.values[i] += delta.values[i];
+    }
+  }
+
+  /// Sum of all shards. Call outside parallel regions (see file
+  /// comment); exact and shard-order-independent.
+  [[nodiscard]] CounterSet snapshot() const noexcept {
+    CounterSet s;
+    for (const CounterShard& shard : shards_) {
+      for (std::size_t i = 0; i < kNumEvents; ++i) {
+        s.values[i] += shard.values[i];
+      }
+    }
+    return s;
+  }
+
+  /// Zero every shard (between experiment arms / tests).
+  void reset() noexcept {
+    for (CounterShard& shard : shards_) {
+      for (auto& v : shard.values) v = 0;
+    }
+  }
+
+  /// The per-region accumulation table PerfRegions commit into.
+  [[nodiscard]] RegionRegistry& regions() noexcept { return regions_; }
+  [[nodiscard]] const RegionRegistry& regions() const noexcept {
+    return regions_;
+  }
+
+  /// Zero counters and clear all region stats.
+  void reset_all() {
+    reset();
+    regions_.reset();
+  }
+
+  /// The process-default context, used by the deprecated singleton shims
+  /// and by units constructed without an explicit context. Prefer
+  /// passing a context; this exists so the migration can be staged.
+  static PerfContext& global() noexcept;
+
+ private:
+  CounterShard shards_[par::kMaxLanes] = {};
+  RegionRegistry regions_;
+};
+
+}  // namespace fhp::perf

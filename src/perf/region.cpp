@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "perf/perf_context.hpp"
 #include "perf/perf_event_backend.hpp"
 
 namespace fhp::perf {
@@ -9,8 +10,8 @@ namespace fhp::perf {
 namespace {
 
 /// Lazily constructed PMU group shared by all regions. Regions may nest
-/// but (per the library's execution model) run on one thread, so reading
-/// shared monotonic totals at start/stop is race-free.
+/// but start/stop on one thread, so reading shared monotonic totals at
+/// start/stop is race-free.
 PerfEventBackend* hw_backend() {
   static PerfEventBackend backend;
   return &backend;
@@ -31,9 +32,9 @@ void set_hardware_capture(bool enabled) {
 
 bool hardware_capture_active() { return g_hw_capture; }
 
+// Deprecated compat shim; see region.hpp.
 RegionRegistry& RegionRegistry::instance() {
-  static RegionRegistry registry;
-  return registry;
+  return PerfContext::global().regions();
 }
 
 void RegionRegistry::accumulate(std::string_view name, const CounterSet& delta,
@@ -70,20 +71,25 @@ void RegionRegistry::reset() {
   stats_.clear();
 }
 
-PerfRegion::PerfRegion(std::string_view name)
-    : name_(name),
-      start_(SoftCounters::instance().snapshot()),
+PerfRegion::PerfRegion(PerfContext& context, std::string_view name)
+    : context_(context),
+      name_(name),
+      start_(context.snapshot()),
       wall_start_(std::chrono::steady_clock::now()) {
   if (g_hw_capture) {
     t_hw_starts.emplace_back(this, hw_backend()->read());
   }
 }
 
+// Deprecated compat shim; see region.hpp.
+PerfRegion::PerfRegion(std::string_view name)
+    : PerfRegion(PerfContext::global(), name) {}
+
 void PerfRegion::stop() {
   if (!active_) return;
   active_ = false;
 
-  CounterSet end = SoftCounters::instance().snapshot();
+  CounterSet end = context_.snapshot();
   CounterSet delta = end.since(start_);
   const auto wall_end = std::chrono::steady_clock::now();
   delta[Event::kWallNanos] = static_cast<std::uint64_t>(
@@ -96,8 +102,8 @@ void PerfRegion::stop() {
     hw_delta = hw_backend()->read().since(t_hw_starts.back().second);
     t_hw_starts.pop_back();
   }
-  RegionRegistry::instance().accumulate(
-      name_, delta, hw_delta ? &*hw_delta : nullptr);
+  context_.regions().accumulate(name_, delta,
+                                hw_delta ? &*hw_delta : nullptr);
 }
 
 PerfRegion::~PerfRegion() { stop(); }

@@ -6,9 +6,14 @@
 /// stops them, and a module stores an identifier for the instrumented
 /// region. (Their finalizer broke under the Fujitsu compiler — §II — and
 /// they fell back to hard-coded calls; C++ destructors make the RAII form
-/// reliable.) PerfRegion is that object: it snapshots the software
-/// counters (and optionally the hardware PMU) on entry, and accumulates
-/// the delta into a named slot of the RegionRegistry on exit.
+/// reliable.) PerfRegion is that object: it snapshots a PerfContext's
+/// software counters (and optionally the hardware PMU) on entry, and
+/// accumulates the delta into a named slot of that context's
+/// RegionRegistry on exit.
+///
+/// Regions start and stop outside parallel regions, on one thread; only
+/// the counter *increments* between start and stop may come from pool
+/// lanes (they land in per-lane shards, see perf_context.hpp).
 
 #pragma once
 
@@ -20,11 +25,12 @@
 #include <vector>
 
 #include "perf/events.hpp"
-#include "perf/soft_counters.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace fhp::perf {
+
+class PerfContext;
 
 /// Accumulated statistics for one named region.
 struct RegionStats {
@@ -34,9 +40,14 @@ struct RegionStats {
   bool hw_valid = false;       ///< hw_totals has real data
 };
 
-/// Process-wide registry of instrumented regions.
+/// Registry of instrumented regions. Owned by a PerfContext; construct
+/// standalone instances only in tests.
 class RegionRegistry {
  public:
+  RegionRegistry() = default;
+
+  /// Deprecated compat shim: the global context's registry. Kept for one
+  /// release; new code should reach the registry through a PerfContext.
   static RegionRegistry& instance();
 
   /// Merge a delta into \p name.
@@ -54,17 +65,21 @@ class RegionRegistry {
   void reset() FHP_EXCLUDES(mutex_);
 
  private:
-  RegionRegistry() = default;
   mutable fhp::Mutex mutex_;
   std::map<std::string, RegionStats, std::less<>> stats_
       FHP_GUARDED_BY(mutex_);
 };
 
 /// RAII region: counts everything between construction and destruction
-/// against \p name. Cheap: two counter snapshots and a clock read.
+/// against \p name in \p context. Cheap: two counter snapshots and a
+/// clock read.
 class PerfRegion {
  public:
+  PerfRegion(PerfContext& context, std::string_view name);
+
+  /// Deprecated compat shim: counts against `PerfContext::global()`.
   explicit PerfRegion(std::string_view name);
+
   ~PerfRegion();
   PerfRegion(const PerfRegion&) = delete;
   PerfRegion& operator=(const PerfRegion&) = delete;
@@ -73,6 +88,7 @@ class PerfRegion {
   void stop();
 
  private:
+  PerfContext& context_;
   std::string name_;
   CounterSet start_;
   std::chrono::steady_clock::time_point wall_start_;

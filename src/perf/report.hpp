@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "perf/events.hpp"
+#include "perf/perf_context.hpp"
 #include "perf/region.hpp"
 
 namespace fhp::perf {
@@ -32,7 +33,11 @@ class RegionReport {
   /// \param clock_hz modeled clock for the cycles -> seconds conversion.
   explicit RegionReport(double clock_hz = 1.8e9,
                         const RegionRegistry& registry =
-                            RegionRegistry::instance());
+                            PerfContext::global().regions());
+
+  /// Report over \p context's regions.
+  RegionReport(const PerfContext& context, double clock_hz)
+      : RegionReport(clock_hz, context.regions()) {}
 
   [[nodiscard]] const std::vector<RegionMeasures>& regions() const noexcept {
     return regions_;

@@ -1,67 +1,49 @@
 /// \file soft_counters.hpp
-/// \brief Process-wide software counters fed by the machine model.
+/// \brief Deprecated compat shim over `perf::PerfContext::global()`.
 ///
-/// The TLB/cache/core model (src/tlb) — and any other instrumented code —
-/// bumps these counters; PerfRegion snapshots them. This decouples perf
-/// (the PAPI-like API) from tlb (one producer of numbers), the same way
-/// PAPI decouples the API from the PMU.
-///
-/// Counters are plain (non-atomic) per the library's single-threaded
-/// kernel execution model; an explicit mutex-free design keeps the
-/// increment on the simulation hot path to one add.
-///
-/// Thread-safety contract: all mutation happens on the single kernel
-/// (simulation) thread. The mutating methods are deliberately outside
-/// the lock discipline and are marked FHP_NO_THREAD_SAFETY_ANALYSIS to
-/// record that this is a design decision, not an oversight; the `tsan`
-/// CMake preset exists to catch any future multi-threaded misuse.
+/// SoftCounters used to be the process-wide counter block with an
+/// explicit single-kernel-thread contract. The block-parallel sweep
+/// engine (fhp::par) replaced it with the sharded, context-first
+/// `perf::PerfContext` (perf_context.hpp); this class survives for one
+/// release as a stateless forwarder so out-of-tree callers keep
+/// compiling. New code must take a `PerfContext&` instead — the
+/// `singleton-instance` lint rule (tools/flashhp_lint.py) rejects new
+/// `::instance()` call sites outside this shim.
 
 #pragma once
 
 #include <cstdint>
 
 #include "perf/events.hpp"
-#include "support/thread_annotations.hpp"
+#include "perf/perf_context.hpp"
 
 namespace fhp::perf {
 
-/// The process-wide counter block.
+/// Deprecated forwarder to the global PerfContext's counters.
 class SoftCounters {
  public:
   static SoftCounters& instance() noexcept;
 
-  /// Add \p amount to \p event. Kernel thread only (see file comment).
-  void add(Event event, std::uint64_t amount) noexcept
-      FHP_NO_THREAD_SAFETY_ANALYSIS {
-    counters_[static_cast<std::size_t>(event)] += amount;
+  /// Add \p amount to \p event on the calling lane's shard.
+  void add(Event event, std::uint64_t amount) noexcept {
+    PerfContext::global().add(event, amount);
   }
 
-  /// Bulk add (one call per traced basic block from the machine model).
-  /// Kernel thread only (see file comment).
-  void add_all(const CounterSet& delta) noexcept
-      FHP_NO_THREAD_SAFETY_ANALYSIS {
-    for (std::size_t i = 0; i < kNumEvents; ++i) {
-      counters_[i] += delta.values[i];
-    }
+  /// Bulk add (one call per committed machine-model quantum).
+  void add_all(const CounterSet& delta) noexcept {
+    PerfContext::global().add_all(delta);
   }
 
   /// Snapshot current totals (wall clock filled in by the caller/backend).
-  [[nodiscard]] CounterSet snapshot() const noexcept
-      FHP_NO_THREAD_SAFETY_ANALYSIS {
-    CounterSet s;
-    for (std::size_t i = 0; i < kNumEvents; ++i) s.values[i] = counters_[i];
-    return s;
+  [[nodiscard]] CounterSet snapshot() const noexcept {
+    return PerfContext::global().snapshot();
   }
 
   /// Zero all counters (tests and between-experiment hygiene).
-  /// Kernel thread only (see file comment).
-  void reset() noexcept FHP_NO_THREAD_SAFETY_ANALYSIS {
-    for (auto& c : counters_) c = 0;
-  }
+  void reset() noexcept { PerfContext::global().reset(); }
 
  private:
   SoftCounters() = default;
-  std::uint64_t counters_[kNumEvents] = {};
 };
 
 }  // namespace fhp::perf

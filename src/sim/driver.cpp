@@ -1,23 +1,35 @@
 #include "sim/driver.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "perf/perf_context.hpp"
 #include "perf/region.hpp"
 #include "support/log.hpp"
 
 namespace fhp::sim {
 
 Driver::Driver(mesh::AmrMesh& mesh, hydro::HydroSolver& hydro,
-               perf::Timers& timers, DriverOptions options)
-    : mesh_(mesh), hydro_(hydro), timers_(timers), options_(options) {
+               perf::Timers& timers, DriverOptions options, DriverUnits units)
+    : mesh_(mesh),
+      hydro_(hydro),
+      timers_(timers),
+      options_(std::move(options)),
+      units_(std::move(units)),
+      perf_(units_.perf != nullptr ? *units_.perf
+                                   : perf::PerfContext::global()) {
   if (options_.refine_vars.empty()) {
     options_.refine_vars = {mesh::var::kDens, mesh::var::kPres};
   }
 }
 
+// Tracing replays sampled blocks into the (stateful, warm) machine model
+// and therefore always runs serially on the driver thread, independent
+// of FLASHHP_THREADS — this is what keeps modeled counters bit-identical
+// across thread counts.
 void Driver::trace_regions() {
-  if (machine_ == nullptr || options_.trace_sample <= 0) return;
-  tlb::Tracer tracer(machine_);
+  if (units_.machine == nullptr || options_.trace_sample <= 0) return;
+  tlb::Tracer tracer(units_.machine);
   const auto scale = static_cast<std::uint64_t>(options_.trace_sample);
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   // Round-robin the sampled subset so every block is eventually modeled.
@@ -25,40 +37,40 @@ void Driver::trace_regions() {
 
   // --- hydro sweeps (the "3-d Hydro" instrumented region) ---------------
   {
-    perf::PerfRegion region("hydro");
+    perf::PerfRegion region(perf_, "hydro");
     for (std::size_t n = static_cast<std::size_t>(offset); n < leaves.size();
          n += static_cast<std::size_t>(options_.trace_sample)) {
       hydro_.trace_step_block(tracer, leaves[n]);
     }
-    machine_->commit(scale);
+    units_.machine->commit(scale);
   }
 
   // --- EOS (the "EOS" instrumented region): ndim per-sweep passes -------
-  if (eos_trace_) {
-    perf::PerfRegion region("eos");
+  if (units_.eos_trace) {
+    perf::PerfRegion region(perf_, "eos");
     for (int sweep = 0; sweep < mesh_.config().ndim; ++sweep) {
       for (std::size_t n = static_cast<std::size_t>(offset);
            n < leaves.size();
            n += static_cast<std::size_t>(options_.trace_sample)) {
-        eos_trace_(tracer, leaves[n]);
+        units_.eos_trace(tracer, leaves[n]);
       }
     }
-    machine_->commit(scale);
+    units_.machine->commit(scale);
   }
 
   // --- flame -------------------------------------------------------------
-  if (flame_ != nullptr) {
-    perf::PerfRegion region("flame");
+  if (units_.flame != nullptr) {
+    perf::PerfRegion region(perf_, "flame");
     for (std::size_t n = static_cast<std::size_t>(offset); n < leaves.size();
          n += static_cast<std::size_t>(options_.trace_sample)) {
-      flame_->trace_advance_block(tracer, leaves[n]);
+      units_.flame->trace_advance_block(tracer, leaves[n]);
     }
-    machine_->commit(scale);
+    units_.machine->commit(scale);
   }
 
   // --- guard fill + bookkeeping ("grid") ----------------------------------
   {
-    perf::PerfRegion region("grid");
+    perf::PerfRegion region(perf_, "grid");
     const mesh::MeshConfig& c = mesh_.config();
     const auto& unk = mesh_.unk();
     for (std::size_t n = static_cast<std::size_t>(offset); n < leaves.size();
@@ -70,7 +82,7 @@ void Driver::trace_regions() {
       unk.trace_sweep(tracer, leaves[n], c.ilo(), c.ihi(), c.jlo(), c.jhi(),
                       c.klo(), c.khi(), c.nvar(), c.nvar());
     }
-    machine_->commit(scale);
+    units_.machine->commit(scale);
   }
 }
 
@@ -89,17 +101,17 @@ void Driver::evolve() {
       hydro_.step(dt_);
     }
 
-    if (flame_ != nullptr) {
+    if (units_.flame != nullptr) {
       perf::Timers::Scope t(timers_, "flame");
       mesh_.fill_guardcells();
-      flame_->advance(dt_);
+      units_.flame->advance(dt_);
       hydro_.eos_update();
     }
 
-    if (gravity_ != nullptr) {
+    if (units_.gravity != nullptr) {
       perf::Timers::Scope t(timers_, "gravity");
-      gravity_->update(mesh_);
-      gravity_->apply_source(mesh_, dt_);
+      units_.gravity->update(mesh_);
+      units_.gravity->apply_source(mesh_, dt_);
       hydro_.eos_update();
     }
 

@@ -44,19 +44,27 @@ struct DriverOptions {
 /// matching the per-sweep EOS calls.
 using EosTraceFn = std::function<void(tlb::Tracer&, int block)>;
 
-/// The driver. Non-owning references; the setup wires everything.
+/// The optional units wired into a Driver, passed at construction so a
+/// driver is fully wired the moment it exists (this replaced the old
+/// post-construction `set_flame`/`set_gravity`/`set_machine`/
+/// `set_eos_trace` mutators, which allowed half-wired drivers to run).
+/// All pointers are non-owning and may be null; null `perf` means
+/// `perf::PerfContext::global()`.
+struct DriverUnits {
+  flame::AdrFlame* flame = nullptr;          ///< operator-split burning
+  gravity::MonopoleGravity* gravity = nullptr;  ///< monopole gravity
+  tlb::Machine* machine = nullptr;  ///< machine model (enables tracing)
+  EosTraceFn eos_trace;             ///< per-block EOS replay hook
+  perf::PerfContext* perf = nullptr;  ///< context PerfRegions commit into
+};
+
+/// The driver. Non-owning references; the setup wires everything through
+/// DriverUnits at construction.
 class Driver {
  public:
   Driver(mesh::AmrMesh& mesh, hydro::HydroSolver& hydro,
-         perf::Timers& timers, DriverOptions options);
-
-  /// Optional physics units.
-  void set_flame(flame::AdrFlame* f) noexcept { flame_ = f; }
-  void set_gravity(gravity::MonopoleGravity* g) noexcept { gravity_ = g; }
-
-  /// Attach the machine model (enables region tracing).
-  void set_machine(tlb::Machine* machine) noexcept { machine_ = machine; }
-  void set_eos_trace(EosTraceFn fn) { eos_trace_ = std::move(fn); }
+         perf::Timers& timers, DriverOptions options,
+         DriverUnits units = {});
 
   /// Run the evolution loop.
   void evolve();
@@ -72,10 +80,8 @@ class Driver {
   hydro::HydroSolver& hydro_;
   perf::Timers& timers_;
   DriverOptions options_;
-  flame::AdrFlame* flame_ = nullptr;
-  gravity::MonopoleGravity* gravity_ = nullptr;
-  tlb::Machine* machine_ = nullptr;
-  EosTraceFn eos_trace_;
+  DriverUnits units_;
+  perf::PerfContext& perf_;
 
   double time_ = 0.0;
   double dt_ = 0.0;

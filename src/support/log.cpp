@@ -19,6 +19,7 @@ const char* log_level_tag(LogLevel level) noexcept {
   return "?????";
 }
 
+// The process-wide log sink, by design. fhp-lint: allow(singleton-instance)
 Logger& Logger::instance() {
   static Logger logger;
   return logger;

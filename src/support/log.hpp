@@ -54,7 +54,11 @@ namespace detail {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  ~LogLine() {
+    // The logger stays a process-wide sink by design (one log file per
+    // run, like FLASH's). fhp-lint: allow(singleton-instance)
+    Logger::instance().write(level_, stream_.str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 

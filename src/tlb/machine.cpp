@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
-#include "perf/soft_counters.hpp"
+#include "perf/perf_context.hpp"
 
 namespace fhp::tlb {
 
-Machine::Machine(const MachineParams& params)
+Machine::Machine(const MachineParams& params, perf::PerfContext* context)
     : params_(params),
+      context_(context != nullptr ? context : &perf::PerfContext::global()),
       l1_tlb_(params.l1_tlb),
       l2_tlb_(params.l2_tlb),
       l1d_(params.l1d),
@@ -79,7 +80,7 @@ double Machine::commit(std::uint64_t scale) noexcept {
                                 (1.0 - params_.walk_overlap);
   const double final_cycles = scaled_cycles + bg_walk_cycles;
 
-  auto& sc = perf::SoftCounters::instance();
+  perf::PerfContext& sc = *context_;
   const std::uint32_t line = params_.l1d.line_bytes;
   auto scaled = [scale](std::uint64_t v) { return v * scale; };
   sc.add(perf::Event::kCycles,

@@ -4,7 +4,10 @@
 /// Kernels replay their (sampled) address streams into a Machine; at the
 /// end of each sampling quantum, commit() converts the observed event
 /// counts into modeled cycles and publishes everything — scaled by the
-/// sampling factor — to perf::SoftCounters, where PerfRegion picks them up.
+/// sampling factor — to a perf::PerfContext, where PerfRegion picks them
+/// up. The model carries warm TLB/cache state across quanta, so tracing
+/// stays on one thread regardless of FLASHHP_THREADS — which is also why
+/// modeled counters are bit-identical across thread counts.
 ///
 /// The cycle model is deliberately simple and captures the paper's two
 /// findings:
@@ -35,6 +38,10 @@
 #include "tlb/cache_model.hpp"
 #include "tlb/geometry.hpp"
 #include "tlb/tlb_model.hpp"
+
+namespace fhp::perf {
+class PerfContext;
+}  // namespace fhp::perf
 
 namespace fhp::tlb {
 
@@ -77,7 +84,11 @@ struct MachineParams : MachineConfig {
 /// across quanta (warm caches), counters are re-zeroed per quantum.
 class Machine {
  public:
-  explicit Machine(const MachineParams& params = {});
+  /// \param context the PerfContext commit() publishes into; null means
+  ///        `perf::PerfContext::global()` (deprecated migration default —
+  ///        pass the arm's context explicitly in new code).
+  explicit Machine(const MachineParams& params = {},
+                   perf::PerfContext* context = nullptr);
 
   /// Replay one memory operation of \p bytes at \p addr. Internally splits
   /// into cache lines; each line is one TLB + cache lookup.
@@ -91,7 +102,7 @@ class Machine {
   }
 
   /// Convert the quantum's event counts to cycles, scale everything by
-  /// \p scale (the sampling factor) and publish to perf::SoftCounters.
+  /// \p scale (the sampling factor) and publish to the PerfContext.
   /// Returns the *unscaled* modeled cycles of this quantum.
   double commit(std::uint64_t scale = 1) noexcept;
 
@@ -115,6 +126,7 @@ class Machine {
 
  private:
   MachineParams params_;
+  perf::PerfContext* context_;
   TlbModel l1_tlb_;
   TlbModel l2_tlb_;
   CacheModel l1d_;

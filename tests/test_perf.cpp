@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "perf/events.hpp"
+#include "perf/perf_context.hpp"
 #include "perf/perf_event_backend.hpp"
 #include "perf/region.hpp"
 #include "perf/report.hpp"
@@ -17,12 +18,11 @@
 namespace fhp::perf {
 namespace {
 
+/// Each test owns its own PerfContext — the redesign's point is that no
+/// reset() hygiene against ambient global state is needed.
 class PerfTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    SoftCounters::instance().reset();
-    RegionRegistry::instance().reset();
-  }
+  PerfContext ctx_;
 };
 
 // ------------------------------------------------------------------ events
@@ -81,36 +81,58 @@ TEST(Events, RatiosMatchFigureOneDefinition) {
   EXPECT_NEAR(r.flash_timer, 0.9826, 0.001);
 }
 
-// ------------------------------------------------------------ soft counters
+// ----------------------------------------------------------- perf context
 
-TEST_F(PerfTest, SoftCountersAccumulate) {
-  auto& sc = SoftCounters::instance();
-  sc.add(Event::kCycles, 10);
-  sc.add(Event::kCycles, 5);
-  sc.add(Event::kDtlbMisses, 2);
-  const CounterSet s = sc.snapshot();
+TEST_F(PerfTest, ContextCountersAccumulate) {
+  ctx_.add(Event::kCycles, 10);
+  ctx_.add(Event::kCycles, 5);
+  ctx_.add(Event::kDtlbMisses, 2);
+  const CounterSet s = ctx_.snapshot();
   EXPECT_EQ(s[Event::kCycles], 15u);
   EXPECT_EQ(s[Event::kDtlbMisses], 2u);
 }
 
-TEST_F(PerfTest, SoftCountersBulkAddAndReset) {
+TEST_F(PerfTest, ContextBulkAddAndReset) {
   CounterSet d;
   d[Event::kBytesRead] = 123;
-  SoftCounters::instance().add_all(d);
-  EXPECT_EQ(SoftCounters::instance().snapshot()[Event::kBytesRead], 123u);
-  SoftCounters::instance().reset();
-  EXPECT_EQ(SoftCounters::instance().snapshot()[Event::kBytesRead], 0u);
+  ctx_.add_all(d);
+  EXPECT_EQ(ctx_.snapshot()[Event::kBytesRead], 123u);
+  ctx_.reset();
+  EXPECT_EQ(ctx_.snapshot()[Event::kBytesRead], 0u);
+}
+
+TEST_F(PerfTest, ContextsAreIndependent) {
+  PerfContext other;
+  ctx_.add(Event::kCycles, 42);
+  EXPECT_EQ(other.snapshot()[Event::kCycles], 0u);
+  EXPECT_EQ(ctx_.snapshot()[Event::kCycles], 42u);
+}
+
+TEST_F(PerfTest, ShardSumsAreExactAcrossLaneCounts) {
+  // Same increments pushed through 1 or 4 lanes must yield the same
+  // totals: uint64 shard sums are exact and order-independent.
+  auto run = [](int lanes) {
+    par::set_threads(lanes);
+    PerfContext ctx;
+    par::parallel_for(64, [&](int /*lane*/, std::size_t i) {
+      ctx.add(Event::kCycles, i + 1);
+    });
+    par::set_threads(1);
+    return ctx.snapshot()[Event::kCycles];
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(1), 64u * 65u / 2u);
 }
 
 // ----------------------------------------------------------------- regions
 
 TEST_F(PerfTest, RegionCapturesCounterDelta) {
   {
-    PerfRegion region("unit-test");
-    SoftCounters::instance().add(Event::kCycles, 1000);
-    SoftCounters::instance().add(Event::kDtlbMisses, 3);
+    PerfRegion region(ctx_, "unit-test");
+    ctx_.add(Event::kCycles, 1000);
+    ctx_.add(Event::kDtlbMisses, 3);
   }
-  const RegionStats stats = RegionRegistry::instance().get("unit-test");
+  const RegionStats stats = ctx_.regions().get("unit-test");
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.totals[Event::kCycles], 1000u);
   EXPECT_EQ(stats.totals[Event::kDtlbMisses], 3u);
@@ -119,55 +141,70 @@ TEST_F(PerfTest, RegionCapturesCounterDelta) {
 
 TEST_F(PerfTest, RegionAccumulatesAcrossEntries) {
   for (int i = 0; i < 3; ++i) {
-    PerfRegion region("loop");
-    SoftCounters::instance().add(Event::kCycles, 10);
+    PerfRegion region(ctx_, "loop");
+    ctx_.add(Event::kCycles, 10);
   }
-  const RegionStats stats = RegionRegistry::instance().get("loop");
+  const RegionStats stats = ctx_.regions().get("loop");
   EXPECT_EQ(stats.entries, 3u);
   EXPECT_EQ(stats.totals[Event::kCycles], 30u);
 }
 
 TEST_F(PerfTest, RegionsNestIndependently) {
   {
-    PerfRegion outer("outer");
-    SoftCounters::instance().add(Event::kCycles, 5);
+    PerfRegion outer(ctx_, "outer");
+    ctx_.add(Event::kCycles, 5);
     {
-      PerfRegion inner("inner");
-      SoftCounters::instance().add(Event::kCycles, 7);
+      PerfRegion inner(ctx_, "inner");
+      ctx_.add(Event::kCycles, 7);
     }
-    SoftCounters::instance().add(Event::kCycles, 11);
+    ctx_.add(Event::kCycles, 11);
   }
   // Nested counts land in both regions (like nested PAPI reads).
-  EXPECT_EQ(RegionRegistry::instance().get("inner").totals[Event::kCycles],
-            7u);
-  EXPECT_EQ(RegionRegistry::instance().get("outer").totals[Event::kCycles],
-            23u);
+  EXPECT_EQ(ctx_.regions().get("inner").totals[Event::kCycles], 7u);
+  EXPECT_EQ(ctx_.regions().get("outer").totals[Event::kCycles], 23u);
 }
 
 TEST_F(PerfTest, StopIsIdempotent) {
-  PerfRegion region("stopped");
-  SoftCounters::instance().add(Event::kCycles, 4);
+  PerfRegion region(ctx_, "stopped");
+  ctx_.add(Event::kCycles, 4);
   region.stop();
-  SoftCounters::instance().add(Event::kCycles, 100);
+  ctx_.add(Event::kCycles, 100);
   region.stop();  // no-op
-  EXPECT_EQ(RegionRegistry::instance().get("stopped").totals[Event::kCycles],
-            4u);
-  EXPECT_EQ(RegionRegistry::instance().get("stopped").entries, 1u);
+  EXPECT_EQ(ctx_.regions().get("stopped").totals[Event::kCycles], 4u);
+  EXPECT_EQ(ctx_.regions().get("stopped").entries, 1u);
 }
 
 TEST_F(PerfTest, UnknownRegionIsZeros) {
-  const RegionStats stats = RegionRegistry::instance().get("never-entered");
+  const RegionStats stats = ctx_.regions().get("never-entered");
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.totals[Event::kCycles], 0u);
 }
 
 TEST_F(PerfTest, RegistryNamesSorted) {
-  { PerfRegion r("zeta"); }
-  { PerfRegion r("alpha"); }
-  const auto names = RegionRegistry::instance().names();
+  { PerfRegion r(ctx_, "zeta"); }
+  { PerfRegion r(ctx_, "alpha"); }
+  const auto names = ctx_.regions().names();
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "alpha");
   EXPECT_EQ(names[1], "zeta");
+}
+
+// ------------------------------------------------- deprecated compat shims
+
+TEST(CompatShims, SoftCountersForwardsToGlobalContext) {
+  PerfContext::global().reset();
+  SoftCounters::instance().add(Event::kCycles, 9);
+  EXPECT_EQ(PerfContext::global().snapshot()[Event::kCycles], 9u);
+  EXPECT_EQ(SoftCounters::instance().snapshot()[Event::kCycles], 9u);
+  PerfContext::global().reset();
+}
+
+TEST(CompatShims, RegionRegistryInstanceIsGlobalContexts) {
+  PerfContext::global().reset_all();
+  { PerfRegion region("shim-region"); }  // single-arg ctor → global context
+  EXPECT_EQ(RegionRegistry::instance().get("shim-region").entries, 1u);
+  EXPECT_EQ(PerfContext::global().regions().get("shim-region").entries, 1u);
+  PerfContext::global().reset_all();
 }
 
 // --------------------------------------------------------------- hw backend
@@ -270,12 +307,12 @@ TEST(TimersTest, ResetClearsEverything) {
 
 TEST_F(PerfTest, RegionReportDerivesMeasures) {
   {
-    PerfRegion region("report-me");
-    SoftCounters::instance().add(Event::kCycles, 1800000000ull);
-    SoftCounters::instance().add(Event::kDtlbMisses, 900000ull);
-    SoftCounters::instance().add(Event::kVectorOps, 180000000ull);
+    PerfRegion region(ctx_, "report-me");
+    ctx_.add(Event::kCycles, 1800000000ull);
+    ctx_.add(Event::kDtlbMisses, 900000ull);
+    ctx_.add(Event::kVectorOps, 180000000ull);
   }
-  const RegionReport report(1.8e9);
+  const RegionReport report(ctx_, 1.8e9);
   const RegionMeasures rm = report.get("report-me");
   EXPECT_EQ(rm.entries, 1u);
   EXPECT_NEAR(rm.measures.time_seconds, 1.0, 1e-9);
@@ -285,14 +322,14 @@ TEST_F(PerfTest, RegionReportDerivesMeasures) {
 }
 
 TEST_F(PerfTest, RegionReportUnknownRegionIsZeros) {
-  const RegionReport report(1.8e9);
+  const RegionReport report(ctx_, 1.8e9);
   EXPECT_EQ(report.get("absent").entries, 0u);
 }
 
 TEST_F(PerfTest, RegionReportRenders) {
-  { PerfRegion region("alpha"); }
-  { PerfRegion region("beta"); }
-  const RegionReport report(1.8e9);
+  { PerfRegion region(ctx_, "alpha"); }
+  { PerfRegion region(ctx_, "beta"); }
+  const RegionReport report(ctx_, 1.8e9);
   std::ostringstream os;
   report.render(os);
   EXPECT_NE(os.str().find("alpha"), std::string::npos);

@@ -8,6 +8,7 @@
 
 #include "hydro/hydro.hpp"
 #include "mem/meminfo.hpp"
+#include "perf/perf_context.hpp"
 #include "perf/region.hpp"
 #include "perf/timers.hpp"
 #include "sim/driver.hpp"
@@ -210,9 +211,10 @@ TEST(SupernovaEvolution, FiftyStepFlameReleasesEnergy) {
   opts.trace_sample = 0;
   opts.verbose = false;
   opts.refine_vars = {kDens, mesh::var::kFirstScalar + snvar::kPhi};
-  Driver driver(m, hydro, timers, opts);
-  driver.set_flame(&setup.flame());
-  driver.set_gravity(&setup.gravity());
+  DriverUnits units;
+  units.flame = &setup.flame();
+  units.gravity = &setup.gravity();
+  Driver driver(m, hydro, timers, opts, units);
 
   const double mass0 = m.integrate(kDens);
   driver.evolve();
@@ -234,8 +236,7 @@ TEST(SupernovaEvolution, FiftyStepFlameReleasesEnergy) {
 /// region's DTLB miss rate collapses while its runtime barely moves.
 TEST(ReproductionShape, HugePagesCutEosDtlbMissesButNotTime) {
   auto run_arm = [](mem::HugePolicy policy) {
-    perf::SoftCounters::instance().reset();
-    perf::RegionRegistry::instance().reset();
+    perf::PerfContext perf;
     SupernovaParams p;
     p.max_level = 3;
     p.maxblocks = 400;
@@ -250,20 +251,21 @@ TEST(ReproductionShape, HugePagesCutEosDtlbMissesButNotTime) {
     hydro::HydroSolver hydro(m, setup.eos(), hopt);
     hydro.set_composition_fn(setup.composition_fn());
     perf::Timers timers;
-    tlb::Machine machine;
+    tlb::Machine machine({}, &perf);
     DriverOptions opts;
     opts.nsteps = 8;
     opts.trace_sample = 2;
     opts.verbose = false;
-    Driver driver(m, hydro, timers, opts);
-    driver.set_flame(&setup.flame());
-    driver.set_gravity(&setup.gravity());
-    driver.set_machine(&machine);
-    driver.set_eos_trace(
-        [&setup](tlb::Tracer& t, int b) { setup.trace_eos_block(t, b); });
+    DriverUnits units;
+    units.flame = &setup.flame();
+    units.gravity = &setup.gravity();
+    units.machine = &machine;
+    units.eos_trace =
+        [&setup](tlb::Tracer& t, int b) { setup.trace_eos_block(t, b); };
+    units.perf = &perf;
+    Driver driver(m, hydro, timers, opts, units);
     driver.evolve();
-    return perf::derive_measures(
-        perf::RegionRegistry::instance().get("eos").totals, 1.8e9);
+    return perf::derive_measures(perf.regions().get("eos").totals, 1.8e9);
   };
 
   const auto without = run_arm(mem::HugePolicy::kNone);

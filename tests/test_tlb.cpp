@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "perf/soft_counters.hpp"
+#include "perf/perf_context.hpp"
 #include "support/error.hpp"
 #include "mem/page_size.hpp"
 #include "tlb/cache_model.hpp"
@@ -231,34 +231,32 @@ TEST(MachineTest, WalkCyclesChargedWhenNotOverlapped) {
 }
 
 TEST(MachineTest, CommitPublishesScaledCounters) {
-  perf::SoftCounters::instance().reset();
+  perf::PerfContext perf;
   MachineParams params;
   params.background_miss_per_cycle = 0.0;
-  Machine machine(params);
+  Machine machine(params, &perf);
   machine.compute(100, 50);
   machine.touch(reinterpret_cast<void*>(0x20000), 8, false, kShift4K);
   machine.commit(/*scale=*/4);
-  const auto s = perf::SoftCounters::instance().snapshot();
+  const auto s = perf.snapshot();
   EXPECT_EQ(s[perf::Event::kVectorOps], 200u);           // 50 * 4
   EXPECT_EQ(s[perf::Event::kDtlbMisses], 4u);            // 1 L1 miss * 4
   EXPECT_GT(s[perf::Event::kCycles], 0u);
   // The quantum was reset but the structural state persists.
   EXPECT_EQ(machine.quantum().accesses, 0u);
-  perf::SoftCounters::instance().reset();
 }
 
 TEST(MachineTest, BackgroundFloorProducesMisses) {
-  perf::SoftCounters::instance().reset();
+  perf::PerfContext perf;
   MachineParams params;  // default floor
-  Machine machine(params);
+  Machine machine(params, &perf);
   machine.compute(1800000, 0);  // ~0.9M cycles
   machine.commit(1);
-  const auto s = perf::SoftCounters::instance().snapshot();
+  const auto s = perf.snapshot();
   const double cycles = static_cast<double>(s[perf::Event::kCycles]);
   const double misses = static_cast<double>(s[perf::Event::kDtlbMisses]);
   EXPECT_NEAR(misses / cycles, params.background_miss_per_cycle,
               params.background_miss_per_cycle * 0.05);
-  perf::SoftCounters::instance().reset();
 }
 
 TEST(MachineTest, ResetClearsStructuresAndTotals) {

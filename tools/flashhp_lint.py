@@ -32,6 +32,13 @@ so this linter does:
                       ("../mem/arena.hpp"), and must resolve to a real
                       file under src/.
 
+  singleton-instance  `::instance()` call sites are allowed only in the
+                      deprecated compat shims (src/perf/soft_counters.*,
+                      src/perf/region.*). Instrumentation goes through an
+                      explicit perf::PerfContext so experiment arms and
+                      threads cannot leak counters into each other; a new
+                      process-wide singleton reintroduces exactly that.
+
 Suppressions (sparingly, with a reason in the surrounding comment):
   // fhp-lint: allow(rule-id)         — this line only
   // fhp-lint: allow-file(rule-id)    — whole file; first 15 lines only
@@ -68,6 +75,8 @@ RULES = {
     "page-size-literal": "magic page-size literal outside src/mem/page_size.*",
     "bulk-alloc": "malloc/new[] bulk allocation in mesh/hydro/eos",
     "include-hygiene": "#pragma once, module-qualified non-relative includes",
+    "singleton-instance":
+        "::instance() call site outside the src/perf compat shims",
 }
 
 
@@ -170,6 +179,7 @@ NEW_ARRAY_RE = re.compile(r"\bnew\s+[\w:<>,\s]+?\[")
 MAKE_UNIQUE_ARRAY_RE = re.compile(r"\bmake_unique\s*<[^;>]*\[\s*\]\s*>")
 QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once\b")
+SINGLETON_RE = re.compile(r"(?:\.|->|::)\s*instance\s*\(\s*\)")
 
 
 class Linter:
@@ -191,6 +201,10 @@ class Linter:
 
     def _is_bulk_scope(self, path: pathlib.Path) -> bool:
         return any(self._under(path, m) for m in ("mesh", "hydro", "eos"))
+
+    def _is_singleton_shim(self, path: pathlib.Path) -> bool:
+        return self._under(path, "perf") and \
+            path.stem in ("soft_counters", "region")
 
     # ----------------------------------------------------------------- scan
     def lint_file(self, path: pathlib.Path) -> None:
@@ -229,6 +243,7 @@ class Linter:
         in_mem = self._is_mem(path)
         in_page_size = self._is_page_size(path)
         in_bulk = self._is_bulk_scope(path)
+        in_singleton_shim = self._is_singleton_shim(path)
 
         if path.suffix in {".hpp", ".hh", ".h"} and raw_lines:
             if not any(PRAGMA_ONCE_RE.search(l) for l in code_lines):
@@ -311,6 +326,13 @@ class Linter:
                                f"page-size literal {m.group(1)} — use the "
                                f"kPage* constants from mem/page_size.hpp")
 
+            # ---- singleton call sites --------------------------------
+            if not in_singleton_shim and SINGLETON_RE.search(code):
+                report(lineno, "singleton-instance",
+                       "::instance() call site — pass an explicit "
+                       "perf::PerfContext (or the relevant handle) instead "
+                       "of reaching for process-wide singleton state")
+
             # ---- bulk allocation in simulation modules ---------------
             if in_bulk:
                 m = CALLOC_RE.search(code)
@@ -379,6 +401,26 @@ SELF_TEST_FILES = {
     "src/flame/clean.cpp": (
         '#include "mem/page_size.hpp"\n'
         'unsigned long two_pages() { return 2 * fhp::mem::kPage2M; }\n',
+        {},
+    ),
+    "src/sim/bad_singleton.cpp": (
+        'namespace fhp::perf { struct SoftCounters {\n'
+        '  static SoftCounters& instance() noexcept;\n'
+        '  void reset(); }; }\n'
+        'void touch() {\n'
+        '  fhp::perf::SoftCounters::instance().reset();\n'
+        '}\n',
+        {"singleton-instance": 1},
+    ),
+    # The compat shims themselves may define and call instance().
+    "src/perf/soft_counters.cpp": (
+        'namespace fhp::perf {\n'
+        'struct SoftCounters { static SoftCounters& instance() noexcept; };\n'
+        'SoftCounters& SoftCounters::instance() noexcept {\n'
+        '  static SoftCounters shim;\n'
+        '  return shim;\n'
+        '}\n'
+        '}\n',
         {},
     ),
     # Comments and strings must not trigger token rules.
