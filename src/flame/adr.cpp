@@ -32,15 +32,17 @@ void AdrFlame::advance(double dt) {
   const auto lanes = static_cast<std::size_t>(par::threads());
   // Per-lane phi scratch, plus a per-block slot for the energy partial:
   // the serial leaf-order sum below makes the total independent of the
-  // lane/timing in which blocks completed.
-  std::vector<std::vector<double>> scratch(
-      lanes, std::vector<double>(scratch_size_));
-  std::vector<double> block_energy(leaves.size(), 0.0);
+  // lane/timing in which blocks completed. Both buffers persist across
+  // timesteps; the scratch is rebuilt only when the lane count changes.
+  if (lane_scratch_.size() != lanes) {
+    lane_scratch_.assign(lanes, std::vector<double>(scratch_size_));
+  }
+  block_energy_.assign(leaves.size(), 0.0);
   par::parallel_for(leaves.size(), [&](int lane, std::size_t n) {
-    block_energy[n] =
-        advance_block(leaves[n], dt, scratch[static_cast<std::size_t>(lane)]);
+    block_energy_[n] = advance_block(leaves[n], dt,
+                                     lane_scratch_[static_cast<std::size_t>(lane)]);
   });
-  for (const double e : block_energy) energy_released_ += e;
+  for (const double e : block_energy_) energy_released_ += e;
 }
 
 double AdrFlame::advance_block(int b, double dt,

@@ -73,6 +73,12 @@ class AdrFlame {
   AdrOptions options_;
   double energy_released_ = 0.0;
   std::size_t scratch_size_ = 0;  ///< zones (incl. guards) per block
+
+  /// Per-lane phi scratch and per-block energy partials, cached across
+  /// advance() calls (re-sized only when `par::threads()` changes) so a
+  /// timestep costs no steady-state allocations.
+  std::vector<std::vector<double>> lane_scratch_;
+  std::vector<double> block_energy_;
 };
 
 }  // namespace fhp::flame

@@ -50,7 +50,12 @@ class ThreadPool {
   [[nodiscard]] int lanes() const { return lanes_; }
 
   /// Runs `fn(lane, i)` for i in [0, n), lane l covering the static
-  /// chunk [l*n/L, (l+1)*n/L). Rethrows the first captured exception.
+  /// chunk [l*n/L, (l+1)*n/L). Rethrows the first captured exception —
+  /// only after every lane has stopped, even when the throwing lane is
+  /// the caller itself: workers may still be inside `fn`, which lives in
+  /// the caller's frame, so unwinding before the handshake would be a
+  /// use-after-free (and would leave pending_ poisoned for the next
+  /// region).
   void run(std::size_t n, const std::function<void(int, std::size_t)>& fn) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -62,7 +67,12 @@ class ThreadPool {
     }
     start_cv_.notify_all();
 
-    run_chunk(0, n, fn);  // the caller participates as lane 0
+    try {
+      run_chunk(0, n, fn);  // the caller participates as lane 0
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -121,6 +131,25 @@ class ThreadPool {
   int pending_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+};
+
+/// Set while a pooled region is in flight. Parallel regions may only be
+/// issued from one thread at a time (the single driver thread) and must
+/// not be nested; this turns both contract violations into a clean
+/// ConfigError instead of a corrupted pool handshake.
+std::atomic<bool> g_region_active{false};
+
+/// RAII claim on the single-region slot.
+class RegionGuard {
+ public:
+  RegionGuard() {
+    FHP_REQUIRE(!g_region_active.exchange(true, std::memory_order_acquire),
+                "parallel_for: regions must not be nested or issued "
+                "concurrently from two threads");
+  }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+  ~RegionGuard() { g_region_active.store(false, std::memory_order_release); }
 };
 
 /// Configured lane count; -1 means "not yet resolved from environment".
@@ -204,6 +233,7 @@ void parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
+  RegionGuard guard;
   pool->run(n, fn);
 }
 

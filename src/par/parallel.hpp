@@ -72,8 +72,11 @@ void apply_runtime_params(const RuntimeParams& params);
 
 /// Runs `fn(lane, i)` for every `i` in `[0, n)`, statically chunked
 /// across `threads()` lanes. Blocks until all lanes finish. The first
-/// exception thrown by any lane is rethrown on the caller after every
-/// lane has stopped. Must not be nested.
+/// exception thrown by any lane — including lane 0, the caller — is
+/// rethrown on the caller after every lane has stopped. Regions share
+/// one global pool, so they must not be nested and may only be issued
+/// from one thread at a time (the single driver thread); violations
+/// throw `fhp::ConfigError` instead of corrupting the pool handshake.
 void parallel_for(std::size_t n,
                   const std::function<void(int lane, std::size_t i)>& fn);
 

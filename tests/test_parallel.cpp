@@ -126,20 +126,39 @@ TEST_F(ParTest, WorkersReportDistinctLanesAndCallerIsLaneZero) {
 }
 
 TEST_F(ParTest, FirstExceptionIsRethrownOnCaller) {
+  // With 4 lanes over 32 indices, i == 2 lies in lane 0's chunk (the
+  // caller) and i == 17 in lane 2's (a worker); the caller-side throw
+  // must still wait out the completion handshake before rethrowing.
   for (int lanes : {1, 4}) {
-    set_threads(lanes);
-    EXPECT_THROW(
-        parallel_for(32,
-                     [&](int, std::size_t i) {
-                       if (i == 17) throw NumericsError("lane blew up");
-                     }),
-        NumericsError)
-        << "lanes=" << lanes;
-    // The pool survives a throwing region and runs the next one.
-    std::atomic<int> count{0};
-    parallel_for(8, [&](int, std::size_t) { count.fetch_add(1); });
-    EXPECT_EQ(count.load(), 8);
+    for (std::size_t bad : {std::size_t{2}, std::size_t{17}}) {
+      set_threads(lanes);
+      EXPECT_THROW(
+          parallel_for(32,
+                       [&](int, std::size_t i) {
+                         if (i == bad) throw NumericsError("lane blew up");
+                       }),
+          NumericsError)
+          << "lanes=" << lanes << " bad=" << bad;
+      // The pool survives a throwing region and runs the next one.
+      std::atomic<int> count{0};
+      parallel_for(8, [&](int, std::size_t) { count.fetch_add(1); });
+      EXPECT_EQ(count.load(), 8);
+    }
   }
+}
+
+TEST_F(ParTest, NestedRegionsAreRejectedNotCorrupted) {
+  set_threads(2);
+  EXPECT_THROW(parallel_for(8,
+                            [&](int, std::size_t) {
+                              parallel_for(
+                                  4, [](int, std::size_t) {});
+                            }),
+               ConfigError);
+  // The guard released and the pool handshake stayed intact.
+  std::atomic<int> count{0};
+  parallel_for(8, [&](int, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
 }
 
 TEST_F(ParTest, ParallelForBlocksVisitsTheBlockList) {
