@@ -54,34 +54,17 @@ int main() {
   std::uint64_t prev = ~0ull;
   bool monotone = true;
   for (const Case& cs : cases) {
-    // The trace uses the container's cached shift; override it by tracing
-    // through a machine with the shift applied per touch. We re-run the
-    // sweeps with a machine whose touches carry cs.shift by temporarily
-    // rebuilding the trace: trace_sweep_axis uses unk.page_shift(), so we
-    // replay manually here.
+    // Same hydro-shaped sweep at every page size: the explicit-shift
+    // trace_sweep_axis overload models one address stream under several
+    // translation regimes without remapping the arena.
     tlb::Machine machine;
     tlb::Tracer tracer(&machine);
     const mesh::MeshConfig& c = mesh.config();
     for (int b : mesh.tree().leaves_morton()) {
       for (int axis = 0; axis < c.ndim; ++axis) {
-        const int inner = axis;
-        const int mid = axis == 0 ? 1 : 0;
-        const int outer = axis == 2 ? 1 : 2;
-        const int lo[3] = {c.ilo(), c.jlo(), c.klo()};
-        const int hi[3] = {c.ihi(), c.jhi(), c.khi()};
-        int idx[3];
-        for (idx[outer] = lo[outer]; idx[outer] < hi[outer]; ++idx[outer]) {
-          for (idx[mid] = lo[mid]; idx[mid] < hi[mid]; ++idx[mid]) {
-            for (idx[inner] = lo[inner]; idx[inner] < hi[inner];
-                 ++idx[inner]) {
-              const double* zone =
-                  mesh.unk().ptr(0, idx[0], idx[1], idx[2], b);
-              tracer.touch(zone, 8ull * static_cast<unsigned>(c.nvar()),
-                           false, cs.shift);
-              tracer.touch(zone, 8ull * 7, true, cs.shift);
-            }
-          }
-        }
+        mesh.unk().trace_sweep_axis(tracer, b, axis, c.ilo(), c.ihi(),
+                                    c.jlo(), c.jhi(), c.klo(), c.khi(),
+                                    c.nvar(), /*nwrite=*/7, cs.shift);
       }
     }
     const auto& q = machine.quantum();

@@ -31,8 +31,10 @@ int main(int argc, char** argv) {
   rp.declare_string("outfile", "sedov_profile.csv", "profile output path");
   rp.declare_bool("trace", false, "feed the machine model and print a report");
   par::declare_runtime_params(rp);
+  mesh::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
   par::apply_runtime_params(rp);
+  mesh::apply_runtime_params(rp);
 
   const auto policy = mem::parse_huge_policy(rp.get_string("policy"));
   if (!policy) {

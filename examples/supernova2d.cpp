@@ -31,8 +31,10 @@ int main(int argc, char** argv) {
   rp.declare_real("rho_c", 2.0e9, "central density [g/cc]");
   rp.declare_string("outfile", "wd_profile.csv", "profile output path");
   par::declare_runtime_params(rp);
+  mesh::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
   par::apply_runtime_params(rp);
+  mesh::apply_runtime_params(rp);
 
   const auto policy = mem::parse_huge_policy(rp.get_string("policy"));
   if (!policy) {

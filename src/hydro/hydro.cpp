@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "hydro/riemann.hpp"
+#include "mem/page_size.hpp"
 #include "par/parallel.hpp"
 #include "support/error.hpp"
+#include "tlb/geometry.hpp"
 
 namespace fhp::hydro {
 
@@ -565,12 +567,17 @@ void HydroSolver::eos_update() {
   std::vector<std::vector<eos::State>> rows(
       static_cast<std::size_t>(par::threads()),
       std::vector<eos::State>(static_cast<std::size_t>(c.nxb)));
+  std::vector<std::vector<double>> scalars(
+      static_cast<std::size_t>(par::threads()),
+      std::vector<double>(static_cast<std::size_t>(c.nscalars)));
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
-    eos_update_block(b, rows[static_cast<std::size_t>(lane)]);
+    eos_update_block(b, rows[static_cast<std::size_t>(lane)],
+                     scalars[static_cast<std::size_t>(lane)]);
   });
 }
 
-void HydroSolver::eos_update_block(int b, std::vector<eos::State>& row) {
+void HydroSolver::eos_update_block(int b, std::vector<eos::State>& row,
+                                   std::vector<double>& scalars) {
   const mesh::MeshConfig& c = mesh_.config();
   mesh::UnkContainer& unk = mesh_.unk();
   {
@@ -590,7 +597,10 @@ void HydroSolver::eos_update_block(int b, std::vector<eos::State>& row) {
           s.abar = options_.abar;
           s.zbar = options_.zbar;
           if (composition_) {
-            composition_(s, unk.ptr(kFirstScalar, i, j, k, b), c.nscalars);
+            composition_(s,
+                         unk.zone_span(kFirstScalar, c.nscalars, i, j, k, b,
+                                       scalars.data()),
+                         c.nscalars);
           }
         }
         eos_.eval(eos::Mode::kDensEner, row);
@@ -620,7 +630,9 @@ void HydroSolver::trace_step_block(tlb::Tracer& tracer, int b) const {
   const mesh::UnkContainer& unk = mesh_.unk();
   const int nvar = c.nvar();
   // Per-pencil scratch (primitives, slopes, evolved states, fluxes) lives
-  // on the ordinary heap — small pages in both experiment arms.
+  // on the ordinary heap — base pages in both experiment arms (4 KiB on
+  // x86, 64 KiB on many ARM kernels).
+  const std::uint8_t heap_shift = tlb::page_shift_of(mem::base_page_size());
   static thread_local double scratch[14][64];
   const auto zones = static_cast<std::uint64_t>(c.nxb) *
                      static_cast<std::uint64_t>(c.nyb) *
@@ -646,7 +658,7 @@ void HydroSolver::trace_step_block(tlb::Tracer& tracer, int b) const {
     tracer.compute(zones * 230, zones * 15);
     for (std::uint64_t p = 0; p < pencils_per_sweep; ++p) {
       for (auto& arr : scratch) {
-        tracer.touch(arr, sizeof arr, true, 12);
+        tracer.touch(arr, sizeof arr, true, heap_shift);
       }
     }
   }

@@ -88,8 +88,11 @@ class HydroSolver {
   /// CFL-limited dt of one leaf block (exact, order-independent min).
   [[nodiscard]] double block_dt(int b) const;
 
-  /// Eos_wrapped pass over one leaf block; \p row is per-lane scratch.
-  void eos_update_block(int b, std::vector<eos::State>& row);
+  /// Eos_wrapped pass over one leaf block; \p row and \p scalars are
+  /// per-lane scratch (\p scalars holds one zone's gathered scalar vector
+  /// under layouts that do not store variables contiguously).
+  void eos_update_block(int b, std::vector<eos::State>& row,
+                        std::vector<double>& scalars);
 
   [[nodiscard]] int ncons() const noexcept {
     return 5 + mesh_.config().nscalars;

@@ -17,8 +17,9 @@ double minmod(double a, double b) noexcept {
 }
 }  // namespace
 
-AmrMesh::AmrMesh(const MeshConfig& config, mem::HugePolicy policy)
-    : config_(config), tree_(config), unk_(config, policy) {
+AmrMesh::AmrMesh(const MeshConfig& config, mem::HugePolicy policy,
+                 LayoutKind layout)
+    : config_(config), tree_(config), unk_(config, policy, layout) {
   tree_.create_roots();
   unk_.refresh_page_shift();
 }

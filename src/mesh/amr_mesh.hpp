@@ -29,10 +29,11 @@
 namespace fhp::mesh {
 
 /// The mesh. Construction allocates `unk` (maxblocks capacity) on the
-/// given huge-page policy and creates the root blocks.
+/// given huge-page policy and block layout and creates the root blocks.
 class AmrMesh {
  public:
-  AmrMesh(const MeshConfig& config, mem::HugePolicy policy);
+  AmrMesh(const MeshConfig& config, mem::HugePolicy policy,
+          LayoutKind layout = default_layout());
 
   [[nodiscard]] const MeshConfig& config() const noexcept { return config_; }
   [[nodiscard]] UnkContainer& unk() noexcept { return unk_; }

@@ -12,7 +12,12 @@ namespace fhp::sim {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'H', 'P', 'C', 'K', 'P', 'T', '2'};
+// Format 3: zone vectors are serialized in *canonical* (variable-fastest)
+// order via gather/scatter regardless of the in-memory BlockLayout, and
+// the writer's layout kind is recorded in the header — informational
+// provenance only, so a checkpoint written under var_major restores
+// exactly under zone_major or tiled.
+constexpr char kMagic[8] = {'F', 'H', 'P', 'C', 'K', 'P', 'T', '3'};
 
 /// The config fields that must match for a restart to make sense.
 struct ConfigRecord {
@@ -71,6 +76,10 @@ void write_checkpoint(const std::string& path, const mesh::AmrMesh& mesh,
   const mesh::MeshConfig& c = mesh.config();
   out.write(kMagic, sizeof kMagic);
   write_pod(out, make_record(c));
+  // Writer's layout — provenance, deliberately NOT part of ConfigRecord's
+  // memcmp: any layout restores into any layout.
+  write_pod(out,
+            static_cast<std::int32_t>(mesh.unk().layout_kind()));
   write_pod(out, info.sim_time);
   write_pod(out, static_cast<std::int64_t>(info.step));
 
@@ -87,17 +96,18 @@ void write_checkpoint(const std::string& path, const mesh::AmrMesh& mesh,
     write_pod(out, rec);
   }
 
-  // Interior data, var-fastest, per leaf in file order.
+  // Interior data, canonical var-fastest zone vectors, per leaf in file
+  // order — gathered through the layout, so the bytes on disk are
+  // identical whatever the in-memory order.
+  std::vector<double> zone(static_cast<std::size_t>(c.nvar()));
   for (int id : leaves) {
     for (int k = c.klo(); k < c.khi(); ++k) {
       for (int j = c.jlo(); j < c.jhi(); ++j) {
         for (int i = c.ilo(); i < c.ihi(); ++i) {
-          // The zone vector is contiguous (var-fastest layout).
-          out.write(reinterpret_cast<const char*>(
-                        mesh.unk().ptr(0, i, j, k, id)),
+          mesh.unk().gather_zone(0, c.nvar(), i, j, k, id, zone.data());
+          out.write(reinterpret_cast<const char*>(zone.data()),
                     static_cast<std::streamsize>(sizeof(double) *
-                                                 static_cast<std::size_t>(
-                                                     c.nvar())));
+                                                 zone.size()));
         }
       }
     }
@@ -125,6 +135,13 @@ CheckpointInfo read_checkpoint(const std::string& path,
   const ConfigRecord current = make_record(mesh.config());
   FHP_REQUIRE(std::memcmp(&stored, &current, sizeof stored) == 0,
               "mesh configuration does not match checkpoint '" + path + "'");
+
+  std::int32_t stored_layout = 0;
+  read_pod(in, stored_layout);
+  FHP_REQUIRE(stored_layout >= 0 &&
+                  stored_layout <=
+                      static_cast<std::int32_t>(mesh::LayoutKind::kTiled),
+              "checkpoint '" + path + "' carries an unknown block layout");
 
   CheckpointInfo info;
   read_pod(in, info.sim_time);
@@ -160,7 +177,10 @@ CheckpointInfo read_checkpoint(const std::string& path,
     }
   }
 
-  // Interior data, in the same file order.
+  // Interior data, in the same file order: canonical zone vectors
+  // scattered into whatever layout *this* mesh runs — the cross-layout
+  // restore path.
+  std::vector<double> zone(static_cast<std::size_t>(c.nvar()));
   for (const LeafRecord& rec : records) {
     const int id = mesh.tree().find(
         rec.level, {rec.coord[0], rec.coord[1], rec.coord[2]});
@@ -169,10 +189,10 @@ CheckpointInfo read_checkpoint(const std::string& path,
     for (int k = c.klo(); k < c.khi(); ++k) {
       for (int j = c.jlo(); j < c.jhi(); ++j) {
         for (int i = c.ilo(); i < c.ihi(); ++i) {
-          in.read(reinterpret_cast<char*>(&mesh.unk().at(0, i, j, k, id)),
+          in.read(reinterpret_cast<char*>(zone.data()),
                   static_cast<std::streamsize>(sizeof(double) *
-                                               static_cast<std::size_t>(
-                                                   c.nvar())));
+                                               zone.size()));
+          mesh.unk().scatter_zone(0, c.nvar(), i, j, k, id, zone.data());
         }
       }
     }

@@ -15,6 +15,7 @@
 #include "eos/gamma_eos.hpp"
 #include "mem/huge_policy.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "mesh/layout.hpp"
 
 namespace fhp::sim {
 
@@ -36,7 +37,8 @@ struct SedovParams {
 /// Assembled Sedov problem: mesh + EOS, data initialized.
 class SedovSetup {
  public:
-  SedovSetup(const SedovParams& params, mem::HugePolicy policy);
+  SedovSetup(const SedovParams& params, mem::HugePolicy policy,
+             mesh::LayoutKind layout = mesh::default_layout());
 
   [[nodiscard]] mesh::AmrMesh& mesh() noexcept { return *mesh_; }
   [[nodiscard]] const eos::GammaEos& eos() const noexcept { return eos_; }

@@ -34,7 +34,8 @@ void mixture_composition(double xc, double xo, double xne, double xash,
 }
 
 SupernovaSetup::SupernovaSetup(const SupernovaParams& params,
-                               mem::HugePolicy policy)
+                               mem::HugePolicy policy,
+                               mesh::LayoutKind layout)
     : params_(params),
       flame_speeds_(6.0, 10.0, 81, 0.2, 0.8, 25, params.x_ne22) {
   // --- EOS table (lives on the policy under test, like unk) -------------
@@ -71,7 +72,7 @@ SupernovaSetup::SupernovaSetup(const SupernovaParams& params,
   config.bc[0][1] = mesh::Bc::kOutflow;
   config.bc[1][0] = mesh::Bc::kOutflow;
   config.bc[1][1] = mesh::Bc::kOutflow;
-  mesh_ = std::make_unique<mesh::AmrMesh>(config, policy);
+  mesh_ = std::make_unique<mesh::AmrMesh>(config, policy, layout);
 
   // --- physics units -------------------------------------------------------
   flame::AdrOptions fopt;
@@ -174,7 +175,8 @@ void SupernovaSetup::trace_eos_block(tlb::Tracer& tracer, int b) const {
         eos::State& s = row[static_cast<std::size_t>(i - c.ilo())];
         s.rho = unk.at(kDens, i, j, k, b);
         s.temp = std::max(1.0e4, unk.at(kTemp, i, j, k, b));
-        const double* sc = unk.ptr(kFirstScalar, i, j, k, b);
+        double sc[snvar::kCount];
+        unk.gather_zone(kFirstScalar, snvar::kCount, i, j, k, b, sc);
         mixture_composition(sc[snvar::kC12], sc[snvar::kO16],
                             sc[snvar::kNe22], sc[snvar::kAsh], s.abar,
                             s.zbar);

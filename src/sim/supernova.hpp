@@ -20,6 +20,7 @@
 #include "hydro/hydro.hpp"
 #include "mem/huge_policy.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "mesh/layout.hpp"
 
 namespace fhp::sim {
 
@@ -58,7 +59,8 @@ inline constexpr int kCount = 5;
 /// Assembled supernova problem.
 class SupernovaSetup {
  public:
-  SupernovaSetup(const SupernovaParams& params, mem::HugePolicy policy);
+  SupernovaSetup(const SupernovaParams& params, mem::HugePolicy policy,
+                 mesh::LayoutKind layout = mesh::default_layout());
 
   [[nodiscard]] mesh::AmrMesh& mesh() noexcept { return *mesh_; }
   [[nodiscard]] const eos::HelmTableEos& eos() const noexcept { return *eos_; }

@@ -81,7 +81,10 @@ TEST(MeshConfigTest, DerivedExtents) {
 
 TEST(UnkTest, VariableIndexIsFastest) {
   const MeshConfig c = small_2d();
-  UnkContainer unk(c, mem::HugePolicy::kNone);
+  // Pinned to the Fortran layout: this test asserts var_major's specific
+  // strides, so it must not float with FLASHHP_LAYOUT (the layout-matrix
+  // CI job runs the whole suite under every layout).
+  UnkContainer unk(c, mem::HugePolicy::kNone, LayoutKind::kVarMajor);
   // unk(v, i, j, k, b): v consecutive, i strides by nvar.
   EXPECT_EQ(unk.offset(1, 0, 0, 0, 0) - unk.offset(0, 0, 0, 0, 0), 1u);
   EXPECT_EQ(unk.offset(0, 1, 0, 0, 0) - unk.offset(0, 0, 0, 0, 0),

@@ -39,6 +39,14 @@ so this linter does:
                       threads cannot leak counters into each other; a new
                       process-wide singleton reintroduces exactly that.
 
+  layout-offset       hand-rolled unk index arithmetic — an nvar-like
+                      factor multiplied into a parenthesized index
+                      expression (`v + nvar * (i + ni * ...)`) — is allowed
+                      only in src/mesh/layout.*. The block-data layout is a
+                      runtime-selectable BlockLayout policy; offset math
+                      re-derived anywhere else silently assumes var_major
+                      and breaks under FLASHHP_LAYOUT=zone_major|tiled.
+
 Suppressions (sparingly, with a reason in the surrounding comment):
   // fhp-lint: allow(rule-id)         — this line only
   // fhp-lint: allow-file(rule-id)    — whole file; first 15 lines only
@@ -77,6 +85,8 @@ RULES = {
     "include-hygiene": "#pragma once, module-qualified non-relative includes",
     "singleton-instance":
         "::instance() call site outside the src/perf compat shims",
+    "layout-offset":
+        "hand-rolled unk index arithmetic outside src/mesh/layout.*",
 }
 
 
@@ -180,6 +190,12 @@ MAKE_UNIQUE_ARRAY_RE = re.compile(r"\bmake_unique\s*<[^;>]*\[\s*\]\s*>")
 QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 PRAGMA_ONCE_RE = re.compile(r"#\s*pragma\s+once\b")
 SINGLETON_RE = re.compile(r"(?:\.|->|::)\s*instance\s*\(\s*\)")
+# An nvar-like factor (nvar, nvar_, nvar(), kNvar, c.nvar(), NVAR ...)
+# multiplied into a parenthesized expression: the shape of hand-rolled
+# var-major offset math like `v + nvar * (i + ni * (j + ...))`. The
+# optional `)` absorbs casts: `static_cast<std::size_t>(nvar_) * (...)`.
+LAYOUT_OFFSET_RE = re.compile(
+    r"\bk?n_?var[\w]*\s*(?:\(\s*\))?\s*\)?\s*\*\s*\(", re.IGNORECASE)
 
 
 class Linter:
@@ -205,6 +221,9 @@ class Linter:
     def _is_singleton_shim(self, path: pathlib.Path) -> bool:
         return self._under(path, "perf") and \
             path.stem in ("soft_counters", "region")
+
+    def _is_layout(self, path: pathlib.Path) -> bool:
+        return self._under(path, "mesh") and path.stem == "layout"
 
     # ----------------------------------------------------------------- scan
     def lint_file(self, path: pathlib.Path) -> None:
@@ -244,6 +263,7 @@ class Linter:
         in_page_size = self._is_page_size(path)
         in_bulk = self._is_bulk_scope(path)
         in_singleton_shim = self._is_singleton_shim(path)
+        in_layout = self._is_layout(path)
 
         if path.suffix in {".hpp", ".hh", ".h"} and raw_lines:
             if not any(PRAGMA_ONCE_RE.search(l) for l in code_lines):
@@ -325,6 +345,13 @@ class Linter:
                         report(lineno, "page-size-literal",
                                f"page-size literal {m.group(1)} — use the "
                                f"kPage* constants from mem/page_size.hpp")
+
+            # ---- hand-rolled layout offset math ----------------------
+            if not in_layout and LAYOUT_OFFSET_RE.search(code):
+                report(lineno, "layout-offset",
+                       "hand-rolled unk offset arithmetic (nvar * (...)) — "
+                       "index through mesh::BlockLayout / UnkContainer so "
+                       "the code holds under every FLASHHP_LAYOUT")
 
             # ---- singleton call sites --------------------------------
             if not in_singleton_shim and SINGLETON_RE.search(code):
@@ -420,6 +447,35 @@ SELF_TEST_FILES = {
         '  static SoftCounters shim;\n'
         '  return shim;\n'
         '}\n'
+        '}\n',
+        {},
+    ),
+    # Hand-rolled var-major offset math outside the layout policy.
+    "src/hydro/bad_offset.cpp": (
+        'unsigned long off(int v, int i, int j, int nvar, int ni) {\n'
+        '  return v + nvar * (i + ni * j);\n'
+        '}\n'
+        'unsigned long off2(unsigned long v, unsigned long i) {\n'
+        '  const unsigned long kNvar = 15;\n'
+        '  return v + kNvar * (i);\n'
+        '}\n'
+        'unsigned long off3(unsigned long nvar_, unsigned long i) {\n'
+        '  return static_cast<unsigned long>(nvar_) * (i + 1);\n'
+        '}\n',
+        {"layout-offset": 3},
+    ),
+    # The layout policy itself is the one licensed home of that math.
+    "src/mesh/layout.cpp": (
+        'unsigned long off(int v, int i, int j, int nvar, int ni) {\n'
+        '  return v + nvar * (i + ni * j);\n'
+        '}\n',
+        {},
+    ),
+    # An allow-comment licenses a deliberate reference pattern.
+    "src/tlb/offset_reference.cpp": (
+        '// documents the historical Fortran order for the tracer tests\n'
+        'unsigned long fortran_off(int v, int nvar, int zone) {\n'
+        '  return v + nvar * (zone);  // fhp-lint: allow(layout-offset)\n'
         '}\n',
         {},
     ),
