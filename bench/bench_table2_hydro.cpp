@@ -6,17 +6,28 @@
 ///
 /// Usage: bench_table2_hydro [--nsteps=N] [--max_level=L] [--sample=S]
 ///                           [--par.threads=T] [--json=PATH]
+///                           [--obs.timeline=PATH] [--obs.sample_ms=N]
 ///
 /// With --json=PATH the paper table is skipped; instead the without-HP
 /// arm runs at 1, 2 and 4 threads and the wall times land in PATH as
 /// JSON (the CI perf-trajectory artifact, BENCH_hydro.json). Modeled
 /// counters are asserted bit-identical across the three runs.
+///
+/// With --obs.timeline=PATH (or FLASHHP_TELEMETRY) the whole bench is
+/// traced — per-lane spans plus a background memory/THP sampler — and
+/// exported as a chrome://tracing JSON, so an arm-vs-arm wall-time gap
+/// can be read span by span instead of as one number.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "experiment_runners.hpp"
+#include "obs/sampler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "support/runtime_params.hpp"
 
 namespace {
@@ -99,14 +110,46 @@ int main(int argc, char** argv) {
   rp.declare_int("sample", 4, "trace every Nth block");
   rp.declare_string("json", "", "write 1/2/4-thread wall times to this file");
   par::declare_runtime_params(rp);
+  obs::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
   par::apply_runtime_params(rp);
   const int nsteps = static_cast<int>(rp.get_int("nsteps"));
   const int max_level = static_cast<int>(rp.get_int("max_level"));
   const int sample = static_cast<int>(rp.get_int("sample"));
 
+  // Optional run tracing. The ambient install means the arms need no
+  // plumbing; lanes cover the widest thread count the scan uses. The
+  // arms own their PerfContexts, so the sampler records memory/THP
+  // state only (its perf columns stay empty).
+  const std::string timeline_path = rp.get_string("obs.timeline");
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<obs::Sampler> sampler;
+  if (!timeline_path.empty()) {
+    obs::TelemetryOptions topts;
+    topts.lanes = std::max(par::threads(), 4);
+    telemetry = std::make_unique<obs::Telemetry>(topts);
+    telemetry->install();
+    obs::SamplerOptions sopts;
+    sopts.cadence =
+        std::chrono::milliseconds(rp.get_int("obs.sample_ms"));
+    sampler = std::make_unique<obs::Sampler>(sopts);
+    sampler->start();
+  }
+  const auto finish_timeline = [&] {
+    if (telemetry == nullptr) return;
+    sampler->stop();
+    telemetry->uninstall();
+    obs::write_timeline_file(timeline_path, *telemetry, sampler.get());
+    std::printf("# wrote %s (%llu spans, %llu samples)\n",
+                timeline_path.c_str(),
+                static_cast<unsigned long long>(telemetry->total_spans()),
+                static_cast<unsigned long long>(sampler->taken()));
+  };
+
   if (const std::string json = rp.get_string("json"); !json.empty()) {
-    return run_thread_scan(json, nsteps, max_level, sample);
+    const int rc = run_thread_scan(json, nsteps, max_level, sample);
+    finish_timeline();
+    return rc;
   }
 
   std::printf(
@@ -132,5 +175,6 @@ int main(int argc, char** argv) {
       "# shape check: DTLB ratio %.3f (paper 0.324), time ratio %.3f "
       "(paper 0.998)\n",
       dtlb_ratio, time_ratio);
+  finish_timeline();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "mem/meminfo.hpp"
 #include "mem/page_size.hpp"
 #include "mem/thp.hpp"
+#include "mem/vmstat.hpp"
 #include "support/string_util.hpp"
 
 namespace {
@@ -42,6 +43,8 @@ int cmd_status() {
   }
   std::printf("meminfo:          %s\n",
               mem::MeminfoSnapshot::capture().summary().c_str());
+  std::printf("vmstat:           %s\n",
+              mem::VmstatSnapshot::capture().summary().c_str());
   return 0;
 }
 
@@ -76,8 +79,10 @@ int cmd_probe(const std::string& policy_text) {
   req.prefault = true;
 
   const auto before = mem::MeminfoSnapshot::capture();
+  const auto vm_before = mem::VmstatSnapshot::capture();
   mem::MappedRegion region(req);
   const auto after = mem::MeminfoSnapshot::capture();
+  const auto vm_after = mem::VmstatSnapshot::capture();
 
   std::printf("requested: 64 MiB under policy '%s'\n",
               std::string(to_string(*policy)).c_str());
@@ -90,6 +95,12 @@ int cmd_probe(const std::string& policy_text) {
               static_cast<long long>(delta.anon_huge_pages),
               static_cast<long long>(delta.huge_pages_free),
               static_cast<long long>(delta.hugetlb));
+  const auto vm_delta = vm_after.since(vm_before);
+  std::printf("vmstat:    thp_fault_alloc %+lld, thp_fault_fallback %+lld, "
+              "thp_collapse_alloc %+lld\n",
+              static_cast<long long>(vm_delta.thp_fault_alloc),
+              static_cast<long long>(vm_delta.thp_fault_fallback),
+              static_cast<long long>(vm_delta.thp_collapse_alloc));
   return 0;
 }
 

@@ -6,13 +6,23 @@
 /// spherically averaged density/pressure profile to sedov_profile.csv.
 ///
 /// Usage: sedov3d [--nsteps=N] [--max_level=L] [--policy=none|thp|hugetlbfs]
-///                [--par.threads=T]
+///                [--par.threads=T] [--obs.timeline=timeline.json]
+///                [--obs.sample_ms=N]
+///
+/// With --obs.timeline (or FLASHHP_TELEMETRY=timeline.json) the run is
+/// traced: per-lane spans, step marks, and a background memory/THP
+/// sampler, exported as a chrome://tracing JSON plus a sampler CSV next
+/// to it.
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "hydro/hydro.hpp"
 #include "mem/huge_policy.hpp"
+#include "obs/sampler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "par/parallel.hpp"
 #include "perf/perf_context.hpp"
 #include "perf/report.hpp"
@@ -32,6 +42,7 @@ int main(int argc, char** argv) {
   rp.declare_bool("trace", false, "feed the machine model and print a report");
   par::declare_runtime_params(rp);
   mesh::declare_runtime_params(rp);
+  obs::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
   par::apply_runtime_params(rp);
   mesh::apply_runtime_params(rp);
@@ -61,9 +72,40 @@ int main(int argc, char** argv) {
     units.machine = &machine;
     units.perf = &perf;
   }
+
+  // Telemetry: span tracer + background memory/THP sampler, exported as
+  // a chrome://tracing timeline when a path is configured.
+  const std::string timeline_path = rp.get_string("obs.timeline");
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<obs::Sampler> sampler;
+  if (!timeline_path.empty()) {
+    telemetry = std::make_unique<obs::Telemetry>();
+    telemetry->install();
+    units.telemetry = telemetry.get();
+    units.perf = &perf;
+    obs::SamplerOptions sopts;
+    sopts.cadence =
+        std::chrono::milliseconds(rp.get_int("obs.sample_ms"));
+    sopts.perf = &perf;
+    sampler = std::make_unique<obs::Sampler>(sopts);
+    sampler->start();
+  }
+
   sim::Driver driver(setup.mesh(), hydro, timers, opts, units);
   driver.evolve();
   if (trace) perf::RegionReport(perf, 1.8e9).render(std::cout);
+
+  if (telemetry) {
+    sampler->stop();
+    telemetry->uninstall();
+    obs::write_timeline_file(timeline_path, *telemetry, sampler.get());
+    const std::string csv_path = obs::csv_path_for(timeline_path);
+    std::ofstream csv(csv_path);
+    sampler->write_csv(csv);
+    std::cout << "timeline written to " << timeline_path << " (sampler CSV: "
+              << csv_path << ", " << telemetry->total_spans() << " spans, "
+              << sampler->taken() << " samples)\n";
+  }
 
   // Validate against the similarity solution.
   sim::RadialProfile profile(setup.mesh(), {0.5, 0.5, 0.5}, 120,

@@ -5,6 +5,7 @@
 
 #include "hydro/riemann.hpp"
 #include "mem/page_size.hpp"
+#include "obs/telemetry.hpp"
 #include "par/parallel.hpp"
 #include "support/error.hpp"
 #include "tlb/geometry.hpp"
@@ -130,6 +131,7 @@ double HydroSolver::block_dt(int b) const {
 }
 
 double HydroSolver::compute_dt() const {
+  FHP_TRACE_SPAN("hydro.compute_dt");
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   // Per-lane partial minima; min is exact and commutative, so the
   // lane-then-serial combine equals the serial scan bit for bit.
@@ -147,6 +149,7 @@ double HydroSolver::compute_dt() const {
 }
 
 void HydroSolver::step(double dt) {
+  FHP_TRACE_SPAN("hydro.step");
   const int ndim = mesh_.config().ndim;
   // Strang-style alternation of the sweep order between steps.
   const bool forward = (step_count_ % 2) == 0;
@@ -161,6 +164,11 @@ void HydroSolver::step(double dt) {
 
 void HydroSolver::sweep(int axis, double dt) {
   FHP_REQUIRE(axis >= 0 && axis < mesh_.config().ndim, "bad sweep axis");
+  // Span names must be static-storage literals (the ring keeps the
+  // pointer), so the per-axis name is a table lookup, not a format.
+  static constexpr const char* kSweepSpanNames[3] = {
+      "hydro.sweep_x", "hydro.sweep_y", "hydro.sweep_z"};
+  obs::SpanScope sweep_span(kSweepSpanNames[axis]);
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   // One scratch set per lane; sweep_block touches only block b's storage
   // and b's own flux-register slots, so blocks are independent.
@@ -168,6 +176,7 @@ void HydroSolver::sweep(int axis, double dt) {
   bufs.reserve(static_cast<std::size_t>(par::threads()));
   for (int l = 0; l < par::threads(); ++l) bufs.emplace_back(mesh_.config());
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    FHP_TRACE_SPAN("hydro.sweep_block");
     sweep_block(axis, dt, b, bufs[static_cast<std::size_t>(lane)]);
   });
   // Fine-coarse conservation reads fine-block registers written above and
@@ -560,6 +569,7 @@ void HydroSolver::apply_flux_corrections(int axis, double dt) {
 }
 
 void HydroSolver::eos_update() {
+  FHP_TRACE_SPAN("eos.update");
   const mesh::MeshConfig& c = mesh_.config();
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   // Per-lane row scratch; Eos::eval is const (pure per-zone), so the
@@ -571,6 +581,7 @@ void HydroSolver::eos_update() {
       static_cast<std::size_t>(par::threads()),
       std::vector<double>(static_cast<std::size_t>(c.nscalars)));
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    FHP_TRACE_SPAN("eos.block");
     eos_update_block(b, rows[static_cast<std::size_t>(lane)],
                      scalars[static_cast<std::size_t>(lane)]);
   });

@@ -1,67 +1,34 @@
 #include "mem/meminfo.hpp"
 
 #include <cinttypes>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
-#include <sstream>
 
-#include "support/error.hpp"
 #include "support/string_util.hpp"
 
 namespace fhp::mem {
 
 namespace {
 
-/// Parse one "Name:  123 kB" line; returns bytes (kB scaled) or raw count.
-struct Field {
-  std::string_view name;
-  std::uint64_t* dest;
-  bool is_kb;  // value carries a kB suffix and should be scaled to bytes
-};
-
-void parse_fields(std::string_view text, const Field* fields, size_t nfields) {
-  size_t pos = 0;
-  while (pos < text.size()) {
-    size_t eol = text.find('\n', pos);
-    if (eol == std::string_view::npos) eol = text.size();
-    const std::string_view line = text.substr(pos, eol - pos);
-    pos = eol + 1;
-
-    const size_t colon = line.find(':');
-    if (colon == std::string_view::npos) continue;
-    const std::string_view name = trim(line.substr(0, colon));
-    for (size_t i = 0; i < nfields; ++i) {
-      if (name != fields[i].name) continue;
-      const auto tokens = split_ws(line.substr(colon + 1));
-      if (tokens.empty()) break;
-      const auto value = parse_int(tokens[0]);
-      if (!value || *value < 0) break;
-      std::uint64_t v = static_cast<std::uint64_t>(*value);
-      if (fields[i].is_kb && tokens.size() >= 2 &&
-          (tokens[1] == "kB" || tokens[1] == "KB")) {
-        v <<= 10;
-      }
-      *fields[i].dest = v;
-      break;
-    }
-  }
+/// Signed difference of two optional fields; absent on either side is
+/// treated as zero movement (a kernel cannot report a delta it cannot
+/// observe).
+std::int64_t field_delta(const ProcField& now, const ProcField& then) {
+  if (!now.present() || !then.present()) return 0;
+  return static_cast<std::int64_t>(now.value_or()) -
+         static_cast<std::int64_t>(then.value_or());
 }
 
-std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw SystemError("cannot open '" + path + "'", errno);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+std::string bytes_or_na(const ProcField& f) {
+  return f.present() ? format_bytes(f.value_or()) : std::string("n/a");
 }
 
 }  // namespace
 
 MeminfoSnapshot MeminfoSnapshot::parse(std::string_view text) {
   MeminfoSnapshot s;
-  const Field fields[] = {
+  const ProcTableField fields[] = {
       {"AnonHugePages", &s.anon_huge_pages, true},
       {"ShmemHugePages", &s.shmem_huge_pages, true},
       {"FileHugePages", &s.file_huge_pages, true},
@@ -74,25 +41,21 @@ MeminfoSnapshot MeminfoSnapshot::parse(std::string_view text) {
       {"MemTotal", &s.mem_total, true},
       {"MemAvailable", &s.mem_available, true},
   };
-  parse_fields(text, fields, std::size(fields));
+  parse_proc_table(text, fields, std::size(fields));
   return s;
 }
 
 MeminfoSnapshot MeminfoSnapshot::capture(const std::string& path) {
-  return parse(slurp(path));
+  return parse(slurp_proc_file(path));
 }
 
 MeminfoSnapshot::Delta MeminfoSnapshot::since(
     const MeminfoSnapshot& earlier) const {
   Delta d;
-  d.anon_huge_pages = static_cast<std::int64_t>(anon_huge_pages) -
-                      static_cast<std::int64_t>(earlier.anon_huge_pages);
-  d.shmem_huge_pages = static_cast<std::int64_t>(shmem_huge_pages) -
-                       static_cast<std::int64_t>(earlier.shmem_huge_pages);
-  d.huge_pages_free = static_cast<std::int64_t>(huge_pages_free) -
-                      static_cast<std::int64_t>(earlier.huge_pages_free);
-  d.hugetlb = static_cast<std::int64_t>(hugetlb) -
-              static_cast<std::int64_t>(earlier.hugetlb);
+  d.anon_huge_pages = field_delta(anon_huge_pages, earlier.anon_huge_pages);
+  d.shmem_huge_pages = field_delta(shmem_huge_pages, earlier.shmem_huge_pages);
+  d.huge_pages_free = field_delta(huge_pages_free, earlier.huge_pages_free);
+  d.hugetlb = field_delta(hugetlb, earlier.hugetlb);
   return d;
 }
 
@@ -101,9 +64,10 @@ std::string MeminfoSnapshot::summary() const {
   std::snprintf(buf, sizeof buf,
                 "AnonHugePages=%s HugePages_Total=%" PRIu64
                 " HugePages_Free=%" PRIu64 " Hugepagesize=%s Hugetlb=%s",
-                format_bytes(anon_huge_pages).c_str(), huge_pages_total,
-                huge_pages_free, format_bytes(hugepagesize).c_str(),
-                format_bytes(hugetlb).c_str());
+                bytes_or_na(anon_huge_pages).c_str(),
+                huge_pages_total.value_or(), huge_pages_free.value_or(),
+                bytes_or_na(hugepagesize).c_str(),
+                bytes_or_na(hugetlb).c_str());
   return buf;
 }
 
@@ -113,19 +77,20 @@ std::ostream& operator<<(std::ostream& os, const MeminfoSnapshot& snap) {
 
 SmapsRollup SmapsRollup::parse(std::string_view text) {
   SmapsRollup s;
-  const Field fields[] = {
+  const ProcTableField fields[] = {
       {"Rss", &s.rss, true},
       {"AnonHugePages", &s.anon_huge_pages, true},
       {"ShmemPmdMapped", &s.shmem_pmd_mapped, true},
+      {"FilePmdMapped", &s.file_pmd_mapped, true},
       {"Private_Hugetlb", &s.private_hugetlb, true},
       {"Shared_Hugetlb", &s.shared_hugetlb, true},
   };
-  parse_fields(text, fields, std::size(fields));
+  parse_proc_table(text, fields, std::size(fields));
   return s;
 }
 
 SmapsRollup SmapsRollup::capture(const std::string& path) {
-  return parse(slurp(path));
+  return parse(slurp_proc_file(path));
 }
 
 std::uint64_t range_huge_bytes(const void* addr, std::size_t len,
@@ -154,7 +119,7 @@ std::uint64_t range_huge_bytes(const void* addr, std::size_t len,
     if (!in_range) continue;
     for (std::string_view key :
          {"AnonHugePages:", "Private_Hugetlb:", "Shared_Hugetlb:",
-          "ShmemPmdMapped:"}) {
+          "ShmemPmdMapped:", "FilePmdMapped:"}) {
       if (starts_with(line, key)) {
         const auto tokens = split_ws(std::string_view(line).substr(key.size()));
         if (!tokens.empty()) {

@@ -6,6 +6,12 @@
 /// AnonHugePages, ShmemHugePages, HugePages_Total/Free/Rsvd/Surp,
 /// Hugepagesize, Hugetlb. MeminfoSnapshot captures exactly those fields;
 /// SmapsRollup gives the per-process view (the more precise check).
+///
+/// Every field is a mem::ProcField — present only if its line appeared —
+/// because kernel generations disagree about the field set (CentOS-7-era
+/// 3.10 has no FileHugePages or MemAvailable; FilePmdMapped arrived in
+/// 4.20). "0 bytes on huge pages" and "this kernel cannot say" are
+/// different observations, and the obs::Sampler records them differently.
 
 #pragma once
 
@@ -14,22 +20,24 @@
 #include <string>
 #include <string_view>
 
+#include "mem/procfs.hpp"
+
 namespace fhp::mem {
 
 /// The huge-page-related fields of /proc/meminfo, in bytes (counts for the
 /// HugePages_* pool entries, which /proc reports as page counts).
 struct MeminfoSnapshot {
-  std::uint64_t anon_huge_pages = 0;    ///< AnonHugePages (bytes) — THP
-  std::uint64_t shmem_huge_pages = 0;   ///< ShmemHugePages (bytes)
-  std::uint64_t file_huge_pages = 0;    ///< FileHugePages (bytes)
-  std::uint64_t huge_pages_total = 0;   ///< HugePages_Total (pages)
-  std::uint64_t huge_pages_free = 0;    ///< HugePages_Free (pages)
-  std::uint64_t huge_pages_rsvd = 0;    ///< HugePages_Rsvd (pages)
-  std::uint64_t huge_pages_surp = 0;    ///< HugePages_Surp (pages)
-  std::uint64_t hugepagesize = 0;       ///< Hugepagesize (bytes)
-  std::uint64_t hugetlb = 0;            ///< Hugetlb (bytes)
-  std::uint64_t mem_total = 0;          ///< MemTotal (bytes)
-  std::uint64_t mem_available = 0;      ///< MemAvailable (bytes)
+  ProcField anon_huge_pages;    ///< AnonHugePages (bytes) — THP
+  ProcField shmem_huge_pages;   ///< ShmemHugePages (bytes)
+  ProcField file_huge_pages;    ///< FileHugePages (bytes, 5.4+)
+  ProcField huge_pages_total;   ///< HugePages_Total (pages)
+  ProcField huge_pages_free;    ///< HugePages_Free (pages)
+  ProcField huge_pages_rsvd;    ///< HugePages_Rsvd (pages)
+  ProcField huge_pages_surp;    ///< HugePages_Surp (pages)
+  ProcField hugepagesize;       ///< Hugepagesize (bytes)
+  ProcField hugetlb;            ///< Hugetlb (bytes, 4.19+)
+  ProcField mem_total;          ///< MemTotal (bytes)
+  ProcField mem_available;      ///< MemAvailable (bytes, 3.14+)
 
   /// Capture from /proc/meminfo (or another file, for tests).
   static MeminfoSnapshot capture(const std::string& path = "/proc/meminfo");
@@ -39,7 +47,7 @@ struct MeminfoSnapshot {
 
   /// Field-wise difference (this - earlier), saturating at zero is NOT
   /// applied — deltas may be negative conceptually, so this returns signed
-  /// deltas via the named struct below.
+  /// deltas via the named struct below. Absent fields difference as zero.
   struct Delta {
     std::int64_t anon_huge_pages = 0;
     std::int64_t shmem_huge_pages = 0;
@@ -48,7 +56,8 @@ struct MeminfoSnapshot {
   };
   [[nodiscard]] Delta since(const MeminfoSnapshot& earlier) const;
 
-  /// Human-readable one-line summary of the huge-page fields.
+  /// Human-readable one-line summary of the huge-page fields ("n/a" for
+  /// fields this kernel does not report).
   [[nodiscard]] std::string summary() const;
 };
 
@@ -56,19 +65,22 @@ std::ostream& operator<<(std::ostream& os, const MeminfoSnapshot& snap);
 
 /// Per-process memory rollup (the fields we need from smaps_rollup).
 struct SmapsRollup {
-  std::uint64_t rss = 0;             ///< Rss (bytes)
-  std::uint64_t anon_huge_pages = 0; ///< AnonHugePages (bytes) backing us
-  std::uint64_t shmem_pmd_mapped = 0;
-  std::uint64_t private_hugetlb = 0; ///< Private_Hugetlb (bytes)
-  std::uint64_t shared_hugetlb = 0;
+  ProcField rss;              ///< Rss (bytes)
+  ProcField anon_huge_pages;  ///< AnonHugePages (bytes) backing us
+  ProcField shmem_pmd_mapped; ///< ShmemPmdMapped (bytes)
+  ProcField file_pmd_mapped;  ///< FilePmdMapped (bytes, 4.20+)
+  ProcField private_hugetlb;  ///< Private_Hugetlb (bytes)
+  ProcField shared_hugetlb;   ///< Shared_Hugetlb (bytes)
 
   static SmapsRollup capture(const std::string& path = "/proc/self/smaps_rollup");
   static SmapsRollup parse(std::string_view text);
 
-  /// Total bytes of this process resident on any kind of huge page.
+  /// Total bytes of this process resident on any kind of huge page
+  /// (absent fields count as zero — they cannot be claimed either way).
   [[nodiscard]] std::uint64_t total_huge_bytes() const noexcept {
-    return anon_huge_pages + shmem_pmd_mapped + private_hugetlb +
-           shared_hugetlb;
+    return anon_huge_pages.value_or() + shmem_pmd_mapped.value_or() +
+           file_pmd_mapped.value_or() + private_hugetlb.value_or() +
+           shared_hugetlb.value_or();
   }
 };
 

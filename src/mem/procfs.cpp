@@ -1,0 +1,52 @@
+#include "mem/procfs.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "support/string_util.hpp"
+
+namespace fhp::mem {
+
+void parse_proc_table(std::string_view text, const ProcTableField* fields,
+                      std::size_t nfields) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    // meminfo/smaps lines are "Name:  value [kB]", vmstat lines are
+    // "name value": take the first token and strip a trailing colon.
+    const auto tokens = split_ws(line);
+    if (tokens.size() < 2) continue;
+    std::string_view name = tokens[0];
+    if (!name.empty() && name.back() == ':') name.remove_suffix(1);
+
+    for (std::size_t i = 0; i < nfields; ++i) {
+      if (name != fields[i].name) continue;
+      const auto value = parse_int(tokens[1]);
+      if (!value || *value < 0) break;
+      auto v = static_cast<std::uint64_t>(*value);
+      if (fields[i].is_kb && tokens.size() >= 3 &&
+          (tokens[2] == "kB" || tokens[2] == "KB")) {
+        v <<= 10;
+      }
+      *fields[i].dest = ProcField(v);
+      break;
+    }
+  }
+}
+
+std::string slurp_proc_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SystemError("cannot open '" + path + "'", errno);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace fhp::mem

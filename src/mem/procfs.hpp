@@ -1,0 +1,82 @@
+/// \file procfs.hpp
+/// \brief Shared plumbing for the /proc readers: optional-like fields and
+/// the "Name:  123 kB" table parser.
+///
+/// The paper's verification method is reading /proc files, and the repo
+/// rule (tools/flashhp_lint.py, `procfs-hygiene`) is that *all* procfs
+/// access lives behind the injectable-path readers in src/mem and
+/// src/obs. Kernel generations disagree about which fields exist —
+/// CentOS-7-era 3.10 has no FileHugePages, pre-4.4 has no AnonHugePages
+/// in smaps_rollup (no smaps_rollup at all, in fact) — so a reader that
+/// initializes missing fields to zero cannot distinguish "THP delivered
+/// nothing" from "this kernel cannot say". ProcField carries that
+/// distinction: every parsed field knows whether its line was present.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace fhp::mem {
+
+/// Optional-like value of one /proc field. Default-constructed fields are
+/// *absent*; parsing a matching line makes them present. Constructing
+/// from a value (as tests and deltas do) makes a present field.
+class ProcField {
+ public:
+  constexpr ProcField() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor) — a present value
+  // converts implicitly so fixtures and comparisons read naturally.
+  constexpr ProcField(std::uint64_t value) : value_(value), present_(true) {}
+
+  /// True if the field's line appeared in the parsed text.
+  [[nodiscard]] constexpr bool present() const noexcept { return present_; }
+  [[nodiscard]] constexpr bool has_value() const noexcept { return present_; }
+
+  /// The value, or \p fallback when the kernel did not report the field.
+  [[nodiscard]] constexpr std::uint64_t value_or(
+      std::uint64_t fallback = 0) const noexcept {
+    return present_ ? value_ : fallback;
+  }
+
+  /// The value; throws fhp::ConfigError when absent. Use value_or() when
+  /// "absent" has a sensible meaning for the caller.
+  [[nodiscard]] std::uint64_t value() const {
+    FHP_REQUIRE(present_, "ProcField::value() on an absent /proc field");
+    return value_;
+  }
+
+  /// Absent fields compare equal to each other and unequal to any value.
+  friend constexpr bool operator==(const ProcField&,
+                                   const ProcField&) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+  bool present_ = false;
+};
+
+/// One row of a /proc table parse: the field's name as it appears in the
+/// file, where to store it, and whether its value carries a "kB" suffix
+/// that should be scaled to bytes.
+struct ProcTableField {
+  std::string_view name;
+  ProcField* dest;
+  bool is_kb;
+};
+
+/// Parse `Name:  123 kB` / `Name 123` lines (meminfo, smaps_rollup and
+/// vmstat are all this grammar, with and without the colon) into the
+/// matching fields. Unmatched lines are skipped; unmatched fields stay
+/// absent.
+void parse_proc_table(std::string_view text, const ProcTableField* fields,
+                      std::size_t nfields);
+
+/// Read a whole (small) /proc file; throws fhp::SystemError if it cannot
+/// be opened. procfs files have no stable size, so this slurps via
+/// rdbuf, not stat.
+[[nodiscard]] std::string slurp_proc_file(const std::string& path);
+
+}  // namespace fhp::mem

@@ -1,0 +1,60 @@
+#include "mem/vmstat.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fhp::mem {
+
+namespace {
+
+std::int64_t field_delta(const ProcField& now, const ProcField& then) {
+  if (!now.present() || !then.present()) return 0;
+  return static_cast<std::int64_t>(now.value_or()) -
+         static_cast<std::int64_t>(then.value_or());
+}
+
+}  // namespace
+
+VmstatSnapshot VmstatSnapshot::parse(std::string_view text) {
+  VmstatSnapshot s;
+  const ProcTableField fields[] = {
+      {"thp_fault_alloc", &s.thp_fault_alloc, false},
+      {"thp_fault_fallback", &s.thp_fault_fallback, false},
+      {"thp_collapse_alloc", &s.thp_collapse_alloc, false},
+      {"thp_split_page", &s.thp_split_page, false},
+      {"pgfault", &s.pgfault, false},
+  };
+  parse_proc_table(text, fields, std::size(fields));
+  return s;
+}
+
+VmstatSnapshot VmstatSnapshot::capture(const std::string& path) {
+  return parse(slurp_proc_file(path));
+}
+
+VmstatSnapshot::Delta VmstatSnapshot::since(
+    const VmstatSnapshot& earlier) const {
+  Delta d;
+  d.thp_fault_alloc = field_delta(thp_fault_alloc, earlier.thp_fault_alloc);
+  d.thp_fault_fallback =
+      field_delta(thp_fault_fallback, earlier.thp_fault_fallback);
+  d.thp_collapse_alloc =
+      field_delta(thp_collapse_alloc, earlier.thp_collapse_alloc);
+  d.thp_split_page = field_delta(thp_split_page, earlier.thp_split_page);
+  return d;
+}
+
+std::string VmstatSnapshot::summary() const {
+  if (!thp_accounting_present()) {
+    return "vmstat: no THP event accounting on this kernel";
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "thp_fault_alloc=%" PRIu64 " thp_fault_fallback=%" PRIu64
+                " thp_collapse_alloc=%" PRIu64 " thp_split_page=%" PRIu64,
+                thp_fault_alloc.value_or(), thp_fault_fallback.value_or(),
+                thp_collapse_alloc.value_or(), thp_split_page.value_or());
+  return buf;
+}
+
+}  // namespace fhp::mem

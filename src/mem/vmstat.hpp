@@ -1,0 +1,59 @@
+/// \file vmstat.hpp
+/// \brief /proc/vmstat THP event counters.
+///
+/// /proc/meminfo answers "how much is on huge pages *now*";
+/// /proc/vmstat answers "what has the THP machinery been *doing*":
+/// thp_fault_alloc counts huge pages allocated at fault time,
+/// thp_fault_fallback counts faults that wanted a huge page and got base
+/// pages (the GNU/Cray failure mode the paper observed, as a counter),
+/// thp_collapse_alloc counts khugepaged promotions of existing base-page
+/// ranges, and thp_split_page counts demotions. The obs::Sampler records
+/// these every tick, which is how "when did THP kick in" becomes a
+/// timeline track instead of a guess.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mem/procfs.hpp"
+
+namespace fhp::mem {
+
+/// The THP event counters of /proc/vmstat (monotonic since boot, in
+/// events — pages, for the alloc/split counters). All optional: kernels
+/// built without CONFIG_TRANSPARENT_HUGEPAGE report none of them.
+struct VmstatSnapshot {
+  ProcField thp_fault_alloc;     ///< huge pages allocated at fault
+  ProcField thp_fault_fallback;  ///< huge-page faults that fell back
+  ProcField thp_collapse_alloc;  ///< khugepaged collapses
+  ProcField thp_split_page;      ///< huge pages split back to base pages
+  ProcField pgfault;             ///< total page faults (rate context)
+
+  /// Capture from /proc/vmstat (or another file, for tests) — the same
+  /// injectable-path pattern as SmapsRollup::capture.
+  static VmstatSnapshot capture(const std::string& path = "/proc/vmstat");
+
+  /// Parse from vmstat-format "name value" text (fixture-friendly).
+  static VmstatSnapshot parse(std::string_view text);
+
+  /// True if this kernel exposes THP event accounting at all.
+  [[nodiscard]] bool thp_accounting_present() const noexcept {
+    return thp_fault_alloc.present() || thp_collapse_alloc.present();
+  }
+
+  /// Signed per-counter movement since \p earlier (absent fields move 0).
+  struct Delta {
+    std::int64_t thp_fault_alloc = 0;
+    std::int64_t thp_fault_fallback = 0;
+    std::int64_t thp_collapse_alloc = 0;
+    std::int64_t thp_split_page = 0;
+  };
+  [[nodiscard]] Delta since(const VmstatSnapshot& earlier) const;
+
+  /// One-line human-readable summary ("n/a" without THP accounting).
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace fhp::mem

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hpp"
 #include "par/parallel.hpp"
 #include "support/contracts.hpp"
 
@@ -276,6 +277,7 @@ void AmrMesh::fill_block_guards(int b) {
 }
 
 void AmrMesh::fill_guardcells() {
+  FHP_TRACE_SPAN("grid.fill_guardcells");
   restrict_all();  // serial: parent interiors feed fill_from_coarse below
   const int finest = tree_.finest_level();
   for (int level = 1; level <= finest; ++level) {

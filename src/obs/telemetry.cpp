@@ -1,0 +1,123 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/runtime_params.hpp"
+
+namespace fhp::obs {
+
+namespace detail {
+
+std::atomic<Telemetry*> g_current{nullptr};
+
+namespace {
+/// Span nesting depth of the executing thread. Each lane traces its own
+/// call stack, so depth is thread-local, not telemetry-global.
+thread_local std::uint16_t t_span_depth = 0;
+}  // namespace
+
+std::uint16_t enter_span() noexcept { return t_span_depth++; }
+void exit_span() noexcept { --t_span_depth; }
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryOptions options)
+    : clock_(options.clock ? std::move(options.clock) : steady_now_ns) {
+  const int lanes = options.lanes > 0 ? options.lanes : par::threads();
+  rings_.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) rings_.emplace_back(options.ring_capacity);
+}
+
+Telemetry::~Telemetry() { uninstall(); }
+
+void Telemetry::install() {
+  Telemetry* expected = nullptr;
+  if (!detail::g_current.compare_exchange_strong(expected, this,
+                                                 std::memory_order_acq_rel)) {
+    throw ConfigError(
+        "obs::Telemetry::install: another Telemetry is already installed");
+  }
+}
+
+void Telemetry::uninstall() noexcept {
+  Telemetry* expected = this;
+  detail::g_current.compare_exchange_strong(expected, nullptr,
+                                            std::memory_order_acq_rel);
+}
+
+void Telemetry::mark_step(int step, double sim_time, double dt) {
+  FHP_REQUIRE(!par::region_active(),
+              "Telemetry::mark_step: only between parallel regions");
+  step_marks_.push_back({step, now_ns(), sim_time, dt});
+}
+
+const SpanRing& Telemetry::ring(int lane) const {
+  FHP_REQUIRE(lane >= 0 && lane < lanes(), "Telemetry::ring: bad lane");
+  return rings_[static_cast<std::size_t>(lane)];
+}
+
+std::uint64_t Telemetry::total_spans() const noexcept {
+  std::uint64_t n = overflow_drops_.load(std::memory_order_relaxed);
+  for (const SpanRing& ring : rings_) n += ring.pushed();
+  return n;
+}
+
+std::uint64_t Telemetry::dropped_spans() const noexcept {
+  std::uint64_t n = overflow_drops_.load(std::memory_order_relaxed);
+  for (const SpanRing& ring : rings_) n += ring.dropped();
+  return n;
+}
+
+std::map<std::string, Histogram, std::less<>> Telemetry::latency_histograms()
+    const {
+  FHP_REQUIRE(!par::region_active(),
+              "Telemetry::latency_histograms: lanes must be quiescent");
+  std::map<std::string, Histogram, std::less<>> out;
+  for (const SpanRing& ring : rings_) {
+    for (const SpanRecord& rec : ring.in_order()) {
+      out[rec.name].add(rec.end_ns - rec.begin_ns);
+    }
+  }
+  return out;
+}
+
+std::string timeline_from_environment() {
+  const char* raw = std::getenv(kTimelineEnvVar);
+  return raw == nullptr ? std::string() : std::string(raw);
+}
+
+int sample_ms_from_environment(int fallback) {
+  const char* raw = std::getenv(kSampleMsEnvVar);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 1) {
+    throw ConfigError(std::string(kSampleMsEnvVar) + "='" + raw +
+                      "': expected a positive sampler cadence in ms");
+  }
+  return static_cast<int>(value);
+}
+
+void declare_runtime_params(RuntimeParams& params) {
+  params.declare_string("obs.timeline", timeline_from_environment(),
+                        "chrome://tracing timeline output path "
+                        "(FLASHHP_TELEMETRY; empty = telemetry off)");
+  params.declare_int("obs.sample_ms", sample_ms_from_environment(10),
+                     "background memory-sampler cadence in ms "
+                     "(FLASHHP_SAMPLE_MS)");
+}
+
+}  // namespace fhp::obs

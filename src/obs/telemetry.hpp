@@ -1,0 +1,199 @@
+/// \file telemetry.hpp
+/// \brief The obs::Telemetry context and the FHP_TRACE_SPAN macro.
+///
+/// Telemetry is to observability what perf::PerfContext is to counters:
+/// an explicit object you construct alongside the PerfContext, thread
+/// through sim::DriverUnits, and read results from — per-lane span rings,
+/// per-name latency histograms, step marks — before exporting the whole
+/// run as a chrome://tracing / Perfetto timeline (obs/timeline.hpp).
+///
+/// One Telemetry at a time may be *installed* as the ambient span sink;
+/// FHP_TRACE_SPAN consults that ambient pointer so physics kernels do not
+/// need a telemetry reference plumbed through every signature. The
+/// disabled path is the design's contract: with nothing installed a span
+/// scope is one relaxed atomic load and a branch — no clock read, no
+/// allocation, no syscall — so an untraced run pays nothing on the
+/// block-sweep hot path (tests/test_obs.cpp holds this with an
+/// allocation-counting guard).
+///
+/// Threading contract (mirrors perf_context.hpp): spans may be recorded
+/// by the driver thread and by pool lanes inside a parallel region —
+/// each writes only its own lane's ring. install()/uninstall() and all
+/// read-side methods (rings, histograms, export) are driver-thread-only,
+/// outside any region. Background threads (the obs::Sampler) must not
+/// record spans.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
+#include "par/parallel.hpp"
+
+namespace fhp {
+class RuntimeParams;
+}  // namespace fhp
+
+namespace fhp::obs {
+
+class Telemetry;
+
+namespace detail {
+/// The ambient installed Telemetry (null = tracing disabled). Exposed so
+/// SpanScope's disabled check inlines to a single atomic load.
+extern std::atomic<Telemetry*> g_current;
+/// Per-thread span nesting depth bookkeeping for SpanScope.
+[[nodiscard]] std::uint16_t enter_span() noexcept;
+void exit_span() noexcept;
+}  // namespace detail
+
+/// Construction-time knobs. The defaults trace a full Sedov run (~1e5
+/// spans) in ~512 KiB per lane.
+struct TelemetryOptions {
+  /// Span records retained per lane before oldest-dropped kicks in.
+  std::size_t ring_capacity = std::size_t{1} << 14;
+  /// Lane rings to allocate; 0 means par::threads() at construction.
+  /// Spans from lanes beyond this count are counted, not stored.
+  int lanes = 0;
+  /// Timestamp source in nanoseconds; null = steady_clock. Injectable so
+  /// tests drive deterministic timelines.
+  std::function<std::uint64_t()> clock;
+};
+
+/// The observability context: owns the per-lane span rings and the step
+/// marks, builds per-name latency histograms, and (while installed) is
+/// the sink behind FHP_TRACE_SPAN.
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {});
+  ~Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Publish this context as the ambient FHP_TRACE_SPAN sink. Throws
+  /// fhp::ConfigError if another Telemetry is already installed.
+  void install();
+
+  /// Withdraw from the ambient slot (idempotent; the destructor calls
+  /// it). Only legal when no region is in flight and no span is open.
+  void uninstall() noexcept;
+
+  [[nodiscard]] bool installed() const noexcept {
+    return detail::g_current.load(std::memory_order_relaxed) == this;
+  }
+
+  /// The ambient installed context, or null when tracing is disabled.
+  [[nodiscard]] static Telemetry* current() noexcept {
+    return detail::g_current.load(std::memory_order_acquire);
+  }
+
+  /// Current timestamp from the injected clock.
+  [[nodiscard]] std::uint64_t now_ns() const { return clock_(); }
+
+  /// Record one closed span against \p lane's ring (hot path; called by
+  /// SpanScope). Lanes beyond the ring count are tallied as dropped.
+  void record(int lane, const SpanRecord& rec) noexcept {
+    if (lane >= 0 && lane < static_cast<int>(rings_.size())) {
+      rings_[static_cast<std::size_t>(lane)].push(rec);
+    } else {
+      overflow_drops_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Annotate the timeline with a completed driver step (driver thread
+  /// only; rendered as instant events carrying step/t/dt).
+  struct StepMark {
+    int step = 0;
+    std::uint64_t t_ns = 0;
+    double sim_time = 0.0;
+    double dt = 0.0;
+  };
+  void mark_step(int step, double sim_time, double dt);
+
+  // ---- read side: driver thread, after lanes quiesce -----------------
+  [[nodiscard]] int lanes() const noexcept {
+    return static_cast<int>(rings_.size());
+  }
+  [[nodiscard]] const SpanRing& ring(int lane) const;
+  [[nodiscard]] const std::vector<StepMark>& step_marks() const noexcept {
+    return step_marks_;
+  }
+
+  /// Spans recorded over all lanes (retained + dropped).
+  [[nodiscard]] std::uint64_t total_spans() const noexcept;
+
+  /// Spans lost to ring overwrite or out-of-range lanes.
+  [[nodiscard]] std::uint64_t dropped_spans() const noexcept;
+
+  /// Per-span-name latency histograms (end - begin, ns), merged across
+  /// every lane's retained records.
+  [[nodiscard]] std::map<std::string, Histogram, std::less<>>
+  latency_histograms() const;
+
+ private:
+  std::vector<SpanRing> rings_;
+  std::vector<StepMark> step_marks_;
+  std::function<std::uint64_t()> clock_;
+  std::atomic<std::uint64_t> overflow_drops_{0};
+};
+
+/// RAII span scope: records {name, begin, end, depth, lane} into the
+/// ambient Telemetry on destruction; a no-op (one atomic load) when none
+/// is installed. Use through FHP_TRACE_SPAN.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    Telemetry* t = Telemetry::current();
+    if (t == nullptr) return;
+    telemetry_ = t;
+    name_ = name;
+    depth_ = detail::enter_span();
+    begin_ns_ = t->now_ns();
+  }
+  ~SpanScope() {
+    if (telemetry_ == nullptr) return;
+    const std::uint64_t end_ns = telemetry_->now_ns();
+    detail::exit_span();
+    telemetry_->record(par::lane(), {name_, begin_ns_, end_ns, depth_});
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Telemetry* telemetry_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+// NOLINTNEXTLINE(cppcoreguidelines-macro-usage) — needs __LINE__ pasting.
+#define FHP_OBS_CONCAT_(a, b) a##b
+#define FHP_OBS_CONCAT(a, b) FHP_OBS_CONCAT_(a, b)
+/// Trace the enclosing scope as a span named \p name (a string literal).
+#define FHP_TRACE_SPAN(name) \
+  ::fhp::obs::SpanScope FHP_OBS_CONCAT(fhp_obs_span_, __LINE__)(name)
+
+/// Environment variable naming the timeline output path ("" = disabled).
+inline constexpr const char* kTimelineEnvVar = "FLASHHP_TELEMETRY";
+/// Environment variable overriding the sampler cadence in milliseconds.
+inline constexpr const char* kSampleMsEnvVar = "FLASHHP_SAMPLE_MS";
+
+/// FLASHHP_TELEMETRY's value, or "" when unset (telemetry off).
+[[nodiscard]] std::string timeline_from_environment();
+
+/// FLASHHP_SAMPLE_MS as a positive integer; \p fallback when unset.
+/// Throws fhp::ConfigError on a non-positive or non-numeric value.
+[[nodiscard]] int sample_ms_from_environment(int fallback);
+
+/// Registers `obs.timeline` (default: FLASHHP_TELEMETRY) and
+/// `obs.sample_ms` (default: FLASHHP_SAMPLE_MS or 10).
+void declare_runtime_params(RuntimeParams& params);
+
+}  // namespace fhp::obs

@@ -215,6 +215,10 @@ void set_threads(int n) {
 
 int lane() { return t_lane; }
 
+bool region_active() noexcept {
+  return g_region_active.load(std::memory_order_acquire);
+}
+
 void declare_runtime_params(RuntimeParams& params) {
   params.declare_int("par.threads", threads(),
                      "worker lanes for block-parallel sweeps "

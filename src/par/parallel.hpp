@@ -63,6 +63,12 @@ void set_threads(int n);
 /// code), `1..threads()-1` inside pool workers during a region.
 [[nodiscard]] int lane();
 
+/// True while a pooled parallel region is in flight. Read-side telemetry
+/// helpers assert on this: per-lane rings and counter shards may only be
+/// drained when the lanes are quiescent (the pool handshake is the
+/// happens-before edge that makes those reads safe).
+[[nodiscard]] bool region_active() noexcept;
+
 /// Registers the `par.threads` runtime parameter (default: current
 /// `threads()` resolution, i.e. env-aware).
 void declare_runtime_params(RuntimeParams& params);

@@ -2,6 +2,18 @@
 
 namespace fhp::perf {
 
+void PerfContext::publish() {
+  const CounterSet current = snapshot();
+  MutexLock lock(publish_mutex_);
+  published_.counters = current;
+  ++published_.seq;
+}
+
+PublishedCounters PerfContext::published() const {
+  MutexLock lock(publish_mutex_);
+  return published_;
+}
+
 PerfContext& PerfContext::global() noexcept {
   static PerfContext context;
   return context;

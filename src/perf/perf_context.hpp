@@ -36,8 +36,18 @@
 #include "par/parallel.hpp"
 #include "perf/events.hpp"
 #include "perf/region.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fhp::perf {
+
+/// A mutex-guarded copy of the counters, taken at a moment when
+/// snapshot() was legal. `seq` counts publishes (0 = none yet) so a
+/// reader can tell "fresh" from "same as last time".
+struct PublishedCounters {
+  CounterSet counters;
+  std::uint64_t seq = 0;
+};
 
 /// One lane's private counter block, padded to a cache line so
 /// neighboring lanes never write-share.
@@ -98,6 +108,19 @@ class PerfContext {
     regions_.reset();
   }
 
+  /// Copy snapshot() into the published slot. Same legality rule as
+  /// snapshot() — call outside parallel regions (the driver publishes at
+  /// step boundaries). This is the one bridge between the unsynchronized
+  /// lane shards and asynchronous readers: a background observer (the
+  /// obs::Sampler) may call published() at any time from any thread
+  /// without racing lane increments, because it only ever touches the
+  /// mutex-guarded copy.
+  void publish();
+
+  /// Most recent publish() result (zero counters, seq 0 before the
+  /// first). Safe from any thread at any time.
+  [[nodiscard]] PublishedCounters published() const;
+
   /// The process-default context, used by the deprecated singleton shims
   /// and by units constructed without an explicit context. Prefer
   /// passing a context; this exists so the migration can be staged.
@@ -106,6 +129,9 @@ class PerfContext {
  private:
   CounterShard shards_[par::kMaxLanes] = {};
   RegionRegistry regions_;
+
+  mutable Mutex publish_mutex_;
+  PublishedCounters published_ FHP_GUARDED_BY(publish_mutex_);
 };
 
 }  // namespace fhp::perf

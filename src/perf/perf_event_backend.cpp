@@ -65,6 +65,9 @@ CounterSet PerfEventBackend::read() const noexcept {
 }
 
 std::optional<int> PerfEventBackend::paranoid_level() {
+  // A single root-owned integer knob with no kernel-version field drift,
+  // so it does not justify an injectable-path reader in src/mem.
+  // fhp-lint: allow(procfs-hygiene)
   std::ifstream in("/proc/sys/kernel/perf_event_paranoid");
   int level = 0;
   if (in >> level) return level;

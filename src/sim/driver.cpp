@@ -90,19 +90,23 @@ void Driver::evolve() {
   perf::Timers::Scope total(timers_, "evolution");
 
   while (step_ < options_.nsteps && time_ < options_.tmax) {
+    FHP_TRACE_SPAN("driver.step");
     {
       perf::Timers::Scope t(timers_, "compute_dt");
+      FHP_TRACE_SPAN("driver.compute_dt");
       dt_ = hydro_.compute_dt();
     }
     if (time_ + dt_ > options_.tmax) dt_ = options_.tmax - time_;
 
     {
       perf::Timers::Scope t(timers_, "hydro");
+      FHP_TRACE_SPAN("driver.hydro");
       hydro_.step(dt_);
     }
 
     if (units_.flame != nullptr) {
       perf::Timers::Scope t(timers_, "flame");
+      FHP_TRACE_SPAN("driver.flame");
       mesh_.fill_guardcells();
       units_.flame->advance(dt_);
       hydro_.eos_update();
@@ -110,6 +114,7 @@ void Driver::evolve() {
 
     if (units_.gravity != nullptr) {
       perf::Timers::Scope t(timers_, "gravity");
+      FHP_TRACE_SPAN("driver.gravity");
       units_.gravity->update(mesh_);
       units_.gravity->apply_source(mesh_, dt_);
       hydro_.eos_update();
@@ -117,15 +122,26 @@ void Driver::evolve() {
 
     {
       perf::Timers::Scope t(timers_, "trace");
+      FHP_TRACE_SPAN("driver.trace");
       trace_regions();
     }
 
     time_ += dt_;
     ++step_;
 
+    // Step boundary: lanes are quiescent, so this is the legal moment to
+    // snapshot the counter shards for asynchronous observers (the
+    // sampler thread only ever reads this published copy) and to stamp
+    // the step mark onto the timeline.
+    perf_.publish();
+    if (units_.telemetry != nullptr) {
+      units_.telemetry->mark_step(step_, time_, dt_);
+    }
+
     if (options_.remesh_interval > 0 &&
         step_ % options_.remesh_interval == 0) {
       perf::Timers::Scope t(timers_, "remesh");
+      FHP_TRACE_SPAN("driver.remesh");
       const int changes = mesh_.remesh(options_.refine_vars,
                                        options_.refine_cut,
                                        options_.derefine_cut);

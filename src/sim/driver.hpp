@@ -21,6 +21,7 @@
 #include "gravity/monopole.hpp"
 #include "hydro/hydro.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "obs/telemetry.hpp"
 #include "perf/timers.hpp"
 #include "tlb/machine.hpp"
 
@@ -56,6 +57,7 @@ struct DriverUnits {
   tlb::Machine* machine = nullptr;  ///< machine model (enables tracing)
   EosTraceFn eos_trace;             ///< per-block EOS replay hook
   perf::PerfContext* perf = nullptr;  ///< context PerfRegions commit into
+  obs::Telemetry* telemetry = nullptr;  ///< span tracer / timeline sink
 };
 
 /// The driver. Non-owning references; the setup wires everything through

@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "mem/allocator.hpp"
@@ -14,7 +15,9 @@
 #include "mem/mapped_region.hpp"
 #include "mem/meminfo.hpp"
 #include "mem/page_size.hpp"
+#include "mem/procfs.hpp"
 #include "mem/thp.hpp"
+#include "mem/vmstat.hpp"
 #include "support/error.hpp"
 
 namespace fhp::mem {
@@ -168,8 +171,8 @@ TEST(Meminfo, ParsesThePapersFields) {
 TEST(Meminfo, DeltaSince) {
   auto before = MeminfoSnapshot::parse(kMeminfoFixture);
   auto after = before;
-  after.anon_huge_pages += 4ull << 20;
-  after.huge_pages_free -= 3;
+  after.anon_huge_pages = after.anon_huge_pages.value() + (4ull << 20);
+  after.huge_pages_free = after.huge_pages_free.value() - 3;
   const auto d = after.since(before);
   EXPECT_EQ(d.anon_huge_pages, 4ll << 20);
   EXPECT_EQ(d.huge_pages_free, -3);
@@ -177,8 +180,20 @@ TEST(Meminfo, DeltaSince) {
 
 TEST(Meminfo, CaptureRealProcFile) {
   const auto s = MeminfoSnapshot::capture();
-  EXPECT_GT(s.mem_total, 0u);
+  EXPECT_GT(s.mem_total.value_or(), 0u);
   EXPECT_FALSE(s.summary().empty());
+}
+
+TEST(ProcFieldTest, DistinguishesZeroFromAbsent) {
+  const ProcField absent;
+  const ProcField zero{0};
+  EXPECT_FALSE(absent.present());
+  EXPECT_TRUE(zero.present());
+  EXPECT_NE(absent, zero);  // "cannot say" != "observed zero"
+  EXPECT_EQ(absent, ProcField{});
+  EXPECT_EQ(absent.value_or(7), 7u);
+  EXPECT_EQ(zero.value_or(7), 0u);
+  EXPECT_THROW(absent.value(), ConfigError);
 }
 
 TEST(Meminfo, MissingFileThrows) {
@@ -196,7 +211,115 @@ TEST(SmapsRollupTest, ParsesFixture) {
   EXPECT_EQ(s.rss, 123456ull << 10);
   EXPECT_EQ(s.anon_huge_pages, 4096ull << 10);
   EXPECT_EQ(s.private_hugetlb, 16384ull << 10);
+  EXPECT_FALSE(s.file_pmd_mapped.present());  // pre-4.20 rollup
   EXPECT_EQ(s.total_huge_bytes(), (4096ull + 16384ull) << 10);
+}
+
+// --------------------------------------------------- kernel-flavor fixtures
+//
+// Three generations of /proc, as checked-in fixture trees (see
+// tests/fixtures/procfs/README.md): the field sets really do differ, and
+// parsing must report absence, not zero.
+
+namespace {
+std::string fixture_procfs(const char* flavor) {
+  return std::string(FHP_TEST_FIXTURE_DIR) + "/procfs/" + flavor;
+}
+}  // namespace
+
+TEST(MeminfoFlavors, Kernel310LacksModernFields) {
+  const auto s =
+      MeminfoSnapshot::capture(fixture_procfs("kernel-3.10") + "/meminfo");
+  EXPECT_TRUE(s.anon_huge_pages.present());
+  EXPECT_TRUE(s.huge_pages_total.present());
+  EXPECT_FALSE(s.mem_available.present());    // 3.14+
+  EXPECT_FALSE(s.shmem_huge_pages.present()); // 4.8+
+  EXPECT_FALSE(s.hugetlb.present());          // 4.19+
+  EXPECT_FALSE(s.file_huge_pages.present());  // 5.4+
+  EXPECT_EQ(s.anon_huge_pages, 6512640ull << 10);
+  // total_huge_bytes-style sums must still work on the reduced set.
+  EXPECT_EQ(s.hugetlb.value_or() + s.anon_huge_pages.value_or(),
+            6512640ull << 10);
+}
+
+TEST(MeminfoFlavors, Kernel414MiddleGround) {
+  const auto s =
+      MeminfoSnapshot::capture(fixture_procfs("kernel-4.14") + "/meminfo");
+  EXPECT_TRUE(s.mem_available.present());
+  EXPECT_TRUE(s.shmem_huge_pages.present());
+  EXPECT_FALSE(s.hugetlb.present());
+  EXPECT_FALSE(s.file_huge_pages.present());
+}
+
+TEST(MeminfoFlavors, Kernel66HasEverything) {
+  const auto s =
+      MeminfoSnapshot::capture(fixture_procfs("kernel-6.6") + "/meminfo");
+  EXPECT_TRUE(s.mem_available.present());
+  EXPECT_TRUE(s.shmem_huge_pages.present());
+  EXPECT_TRUE(s.file_huge_pages.present());
+  EXPECT_TRUE(s.hugetlb.present());
+  EXPECT_EQ(s.huge_pages_total, 512u);
+  EXPECT_EQ(s.hugetlb, 1048576ull << 10);
+}
+
+TEST(SmapsFlavors, FilePmdMappedOnlyOnModernKernels) {
+  const auto old = SmapsRollup::capture(fixture_procfs("kernel-4.14") +
+                                        "/self/smaps_rollup");
+  EXPECT_FALSE(old.file_pmd_mapped.present());
+  EXPECT_TRUE(old.anon_huge_pages.present());
+
+  const auto modern = SmapsRollup::capture(fixture_procfs("kernel-6.6") +
+                                           "/self/smaps_rollup");
+  EXPECT_TRUE(modern.file_pmd_mapped.present());
+  EXPECT_EQ(modern.file_pmd_mapped, 10240ull << 10);
+  EXPECT_EQ(modern.total_huge_bytes(),
+            modern.anon_huge_pages.value() + modern.shmem_pmd_mapped.value() +
+                modern.file_pmd_mapped.value() +
+                modern.private_hugetlb.value() +
+                modern.shared_hugetlb.value());
+}
+
+// ------------------------------------------------------------------ vmstat
+
+TEST(Vmstat, ParsesThpCounters) {
+  const auto s = VmstatSnapshot::parse(
+      "nr_free_pages 11420726\n"
+      "pgfault 181203981\n"
+      "thp_fault_alloc 12793\n"
+      "thp_fault_fallback 184\n"
+      "thp_collapse_alloc 812\n"
+      "thp_split_page 441\n");
+  EXPECT_TRUE(s.thp_accounting_present());
+  EXPECT_EQ(s.thp_fault_alloc, 12793u);
+  EXPECT_EQ(s.thp_fault_fallback, 184u);
+  EXPECT_EQ(s.thp_collapse_alloc, 812u);
+  EXPECT_EQ(s.thp_split_page, 441u);
+  EXPECT_EQ(s.pgfault, 181203981u);
+}
+
+TEST(Vmstat, Kernel310UsesThpSplitSpelling) {
+  // 3.10 spells the split counter "thp_split"; our field tracks the
+  // modern "thp_split_page" and must come back absent, not zero.
+  const auto s =
+      VmstatSnapshot::capture(fixture_procfs("kernel-3.10") + "/vmstat");
+  EXPECT_TRUE(s.thp_fault_alloc.present());
+  EXPECT_FALSE(s.thp_split_page.present());
+  EXPECT_TRUE(s.thp_accounting_present());
+}
+
+TEST(Vmstat, DeltaAndSummary) {
+  const auto before =
+      VmstatSnapshot::capture(fixture_procfs("kernel-6.6") + "/vmstat");
+  auto after = before;
+  after.thp_fault_alloc = after.thp_fault_alloc.value() + 25;
+  const auto d = after.since(before);
+  EXPECT_EQ(d.thp_fault_alloc, 25);
+  EXPECT_EQ(d.thp_fault_fallback, 0);
+  EXPECT_FALSE(after.summary().empty());
+}
+
+TEST(Vmstat, MissingFileThrows) {
+  EXPECT_THROW(VmstatSnapshot::capture("/nonexistent/vmstat"), SystemError);
 }
 
 // ---------------------------------------------------------- mapped region
@@ -296,7 +419,8 @@ TEST(MappedRegion, HugetlbfsUsesPoolWhenAvailable) {
   EXPECT_EQ(region.resident_huge_bytes(), region.size());
   // The paper's verification: the pool's free count drops while mapped.
   const auto snap = MeminfoSnapshot::capture();
-  EXPECT_LT(snap.huge_pages_free, snap.huge_pages_total);
+  EXPECT_LT(snap.huge_pages_free.value_or(),
+            snap.huge_pages_total.value_or());
 }
 
 // ------------------------------------------------------------------ arena

@@ -1,0 +1,521 @@
+/// \file test_obs.cpp
+/// \brief Unit tests for the fhp::obs observability subsystem.
+///
+/// Everything here is deterministic by construction: span clocks are
+/// injected fake counters, sampler procfs paths point at the checked-in
+/// fixture trees (tests/fixtures/procfs), and the background-thread
+/// tests assert only thread-safe invariants. The one global side effect
+/// is the operator-new override at the bottom of this file, which backs
+/// the disabled-path zero-allocation guard.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/sampler.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+#include "par/parallel.hpp"
+#include "perf/perf_context.hpp"
+#include "support/error.hpp"
+
+// Allocation counter fed by the global operator-new override below.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+namespace fhp::obs {
+namespace {
+
+std::string fixture_root(const char* flavor) {
+  return std::string(FHP_TEST_FIXTURE_DIR) + "/procfs/" + flavor;
+}
+
+/// A deterministic clock: starts at 1000 ns, advances 1 µs per reading.
+class FakeClock {
+ public:
+  [[nodiscard]] std::function<std::uint64_t()> fn() {
+    return [this] { return next_.fetch_add(1000, std::memory_order_relaxed); };
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{1000};
+};
+
+// ---------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketMapping) {
+  Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // v == 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // v == 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // v in [2, 4)
+  EXPECT_EQ(h.bucket_count(3), 1u);  // v in [4, 8)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(10), 512u);
+}
+
+TEST(HistogramTest, QuantilesAreMonotonicAndBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v * 17);
+  const double p50 = h.quantile(0.5);
+  const double p90 = h.quantile(0.9);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(h.quantile(0.0), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max()));
+  // Log2 buckets are good to a factor of 2 around the true quantile.
+  EXPECT_GT(p50, 0.25 * 500 * 17);
+  EXPECT_LT(p50, 4.0 * 500 * 17);
+  EXPECT_FALSE(h.summary().empty());
+}
+
+TEST(HistogramTest, EmptyHistogramIsWellDefined) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, MergeEqualsBulkAdd) {
+  // Merging per-lane histograms must be exact: bucket-wise addition is
+  // order-independent, so the merged result matches the single-histogram
+  // scan bit for bit.
+  Histogram lane0, lane1, all;
+  for (std::uint64_t v = 1; v < 500; ++v) {
+    const std::uint64_t sample = v * v + 3;
+    ((v % 2 == 0) ? lane0 : lane1).add(sample);
+    all.add(sample);
+  }
+  Histogram merged = lane0;
+  merged.merge(lane1);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.sum(), all.sum());
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(merged.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(merged.quantile(0.9), all.quantile(0.9));
+}
+
+// ----------------------------------------------------------------- ring
+
+TEST(SpanRingTest, OverflowDropsOldestAndNeverBlocks) {
+  SpanRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.push({"s", i, i + 1, 0});
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto records = ring.in_order();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-dropped: the survivors are the last four, oldest first.
+  EXPECT_EQ(records.front().begin_ns, 6u);
+  EXPECT_EQ(records.back().begin_ns, 9u);
+}
+
+TEST(SpanRingTest, PartialFillKeepsInsertionOrder) {
+  SpanRing ring(8);
+  for (std::uint64_t i = 0; i < 3; ++i) ring.push({"s", i, i + 1, 0});
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto records = ring.in_order();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].begin_ns, 0u);
+  EXPECT_EQ(records[2].begin_ns, 2u);
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(TelemetryTest, SpanNestingDepthsAreRecorded) {
+  FakeClock clock;
+  TelemetryOptions opts;
+  opts.lanes = 1;
+  opts.clock = clock.fn();
+  Telemetry telemetry(opts);
+  telemetry.install();
+  {
+    FHP_TRACE_SPAN("outer");
+    {
+      FHP_TRACE_SPAN("inner");
+    }
+  }
+  telemetry.uninstall();
+  const auto records = telemetry.ring(0).in_order();
+  ASSERT_EQ(records.size(), 2u);
+  // The inner span closes (and records) first.
+  EXPECT_STREQ(records[0].name, "inner");
+  EXPECT_EQ(records[0].depth, 1u);
+  EXPECT_STREQ(records[1].name, "outer");
+  EXPECT_EQ(records[1].depth, 0u);
+  // Nesting in time: outer contains inner on the fake clock.
+  EXPECT_LT(records[1].begin_ns, records[0].begin_ns);
+  EXPECT_GT(records[1].end_ns, records[0].end_ns);
+}
+
+TEST(TelemetryTest, SecondInstallThrows) {
+  Telemetry a, b;
+  a.install();
+  EXPECT_THROW(b.install(), ConfigError);
+  a.uninstall();
+  b.install();  // now free
+  b.uninstall();
+}
+
+TEST(TelemetryTest, OutOfRangeLaneIsCountedNotStored) {
+  TelemetryOptions opts;
+  opts.lanes = 1;
+  Telemetry telemetry(opts);
+  telemetry.record(0, {"ok", 1, 2, 0});
+  telemetry.record(7, {"lost", 1, 2, 0});
+  EXPECT_EQ(telemetry.ring(0).pushed(), 1u);
+  EXPECT_EQ(telemetry.total_spans(), 2u);
+  EXPECT_EQ(telemetry.dropped_spans(), 1u);
+}
+
+TEST(TelemetryTest, CrossLaneHistogramMerge) {
+  TelemetryOptions opts;
+  opts.lanes = 2;
+  Telemetry telemetry(opts);
+  // Lane 0: three 100 ns spans; lane 1: two 100 ns and one 7000 ns span,
+  // all under one name, plus a differently named span.
+  for (int i = 0; i < 3; ++i) telemetry.record(0, {"kernel", 0, 100, 0});
+  for (int i = 0; i < 2; ++i) telemetry.record(1, {"kernel", 0, 100, 0});
+  telemetry.record(1, {"kernel", 0, 7000, 0});
+  telemetry.record(1, {"other", 0, 50, 0});
+  const auto histograms = telemetry.latency_histograms();
+  ASSERT_EQ(histograms.size(), 2u);
+  const Histogram& kernel = histograms.at("kernel");
+  EXPECT_EQ(kernel.count(), 6u);
+  EXPECT_EQ(kernel.min(), 100u);
+  EXPECT_EQ(kernel.max(), 7000u);
+  EXPECT_EQ(kernel.sum(), 5u * 100u + 7000u);
+  EXPECT_EQ(histograms.at("other").count(), 1u);
+}
+
+TEST(TelemetryTest, SpansFromParallelLanesLandInTheirRings) {
+  const int previous_threads = par::threads();
+  par::set_threads(2);
+  FakeClock clock;
+  TelemetryOptions opts;
+  opts.clock = clock.fn();  // lanes = 0 -> par::threads() == 2
+  Telemetry telemetry(opts);
+  ASSERT_EQ(telemetry.lanes(), 2);
+  telemetry.install();
+  par::parallel_for(64, [](int /*lane*/, std::size_t /*i*/) {
+    FHP_TRACE_SPAN("par.item");
+  });
+  telemetry.uninstall();
+  par::set_threads(previous_threads);
+  // Static chunking: each of the two lanes ran 32 items.
+  EXPECT_EQ(telemetry.ring(0).pushed(), 32u);
+  EXPECT_EQ(telemetry.ring(1).pushed(), 32u);
+  EXPECT_EQ(telemetry.total_spans(), 64u);
+  EXPECT_EQ(telemetry.latency_histograms().at("par.item").count(), 64u);
+}
+
+TEST(TelemetryTest, StepMarksCarryTheFakeClock) {
+  FakeClock clock;
+  TelemetryOptions opts;
+  opts.lanes = 1;
+  opts.clock = clock.fn();
+  Telemetry telemetry(opts);
+  telemetry.mark_step(1, 0.25, 0.25);
+  telemetry.mark_step(2, 0.50, 0.25);
+  ASSERT_EQ(telemetry.step_marks().size(), 2u);
+  EXPECT_EQ(telemetry.step_marks()[0].t_ns, 1000u);
+  EXPECT_EQ(telemetry.step_marks()[1].t_ns, 2000u);
+  EXPECT_EQ(telemetry.step_marks()[1].step, 2);
+  EXPECT_EQ(telemetry.step_marks()[1].sim_time, 0.50);
+}
+
+// ---------------------------------------------------- disabled-path guard
+
+TEST(TelemetryDisabledPath, RecordsNothingAndAllocatesNothing) {
+  // The acceptance contract: with no Telemetry installed, FHP_TRACE_SPAN
+  // is one atomic load + branch — no clock read, no allocation. The
+  // operator-new override at the bottom of this file counts every
+  // allocation in the process; the loop must add zero.
+  ASSERT_EQ(Telemetry::current(), nullptr);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100000; ++i) {
+    FHP_TRACE_SPAN("disabled.hot_path");
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+// ----------------------------------------------------------------- sampler
+
+TEST(SamplerTest, FixtureCaptureIsDeterministic) {
+  auto make = [](FakeClock& clock) {
+    SamplerOptions opts = SamplerOptions::with_procfs_root(
+        fixture_root("kernel-6.6"));
+    opts.clock = clock.fn();
+    return opts;
+  };
+  FakeClock c1, c2;
+  Sampler a(make(c1)), b(make(c2));
+  for (int i = 0; i < 3; ++i) {
+    a.sample_once();
+    b.sample_once();
+  }
+  std::ostringstream csv_a, csv_b;
+  a.write_csv(csv_a);
+  b.write_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());  // bit-stable across runs
+
+  const auto samples = a.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].t_ns, 1000u);
+  EXPECT_EQ(samples[1].t_ns, 2000u);
+  EXPECT_EQ(samples[0].meminfo.anon_huge_pages, 3145728ull << 10);
+  EXPECT_EQ(samples[0].smaps.file_pmd_mapped, 10240ull << 10);
+  EXPECT_EQ(samples[0].vmstat.thp_fault_alloc, 44241u);
+  EXPECT_EQ(a.errors(), 0u);
+  EXPECT_FALSE(samples[0].have_counters);  // no PerfContext wired
+}
+
+TEST(SamplerTest, MissingProcFileIsCountedNotThrown) {
+  // kernel-3.10 has no smaps_rollup (the file arrived in 4.14): each
+  // sample records one capture error, and the run continues.
+  FakeClock clock;
+  SamplerOptions opts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-3.10"));
+  opts.clock = clock.fn();
+  Sampler sampler(opts);
+  sampler.sample_once();
+  sampler.sample_once();
+  EXPECT_EQ(sampler.errors(), 2u);
+  EXPECT_EQ(sampler.taken(), 2u);
+  const auto samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_TRUE(samples[0].meminfo.anon_huge_pages.present());
+  EXPECT_FALSE(samples[0].smaps.rss.present());  // the failed capture
+  EXPECT_FALSE(samples[0].vmstat.thp_split_page.present());  // "thp_split"
+}
+
+TEST(SamplerTest, RingOverflowDropsOldest) {
+  FakeClock clock;
+  SamplerOptions opts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-6.6"));
+  opts.clock = clock.fn();
+  opts.ring_capacity = 4;
+  Sampler sampler(opts);
+  for (int i = 0; i < 7; ++i) sampler.sample_once();
+  EXPECT_EQ(sampler.taken(), 7u);
+  EXPECT_EQ(sampler.dropped(), 3u);
+  const auto samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().t_ns, 4000u);  // samples 1..3 were dropped
+  EXPECT_EQ(samples.back().t_ns, 7000u);
+}
+
+TEST(SamplerTest, PublishedPerfCountersFlowIntoSamples) {
+  perf::PerfContext perf;
+  perf.add(perf::Event::kCycles, 12345);
+  perf.publish();
+  FakeClock clock;
+  SamplerOptions opts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-6.6"));
+  opts.clock = clock.fn();
+  opts.perf = &perf;
+  Sampler sampler(opts);
+  sampler.sample_once();
+  perf.add(perf::Event::kCycles, 55);
+  // Not yet published: the sampler must still see the old snapshot.
+  sampler.sample_once();
+  perf.publish();
+  sampler.sample_once();
+  const auto samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_TRUE(samples[0].have_counters);
+  EXPECT_EQ(samples[0].counters[perf::Event::kCycles], 12345u);
+  EXPECT_EQ(samples[0].counter_seq, 1u);
+  EXPECT_EQ(samples[1].counters[perf::Event::kCycles], 12345u);
+  EXPECT_EQ(samples[2].counters[perf::Event::kCycles], 12400u);
+  EXPECT_EQ(samples[2].counter_seq, 2u);
+}
+
+TEST(SamplerTest, CsvHasHeaderAndEmptyCellsForAbsentFields) {
+  FakeClock clock;
+  SamplerOptions opts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-3.10"));
+  opts.clock = clock.fn();
+  Sampler sampler(opts);
+  sampler.sample_once();
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.compare(0, 5, "t_ns,"), 0);
+  // 3.10 reports no MemAvailable: the cell is empty, not "0".
+  EXPECT_NE(text.find(",,"), std::string::npos);
+}
+
+TEST(SamplerTest, BackgroundThreadStartsSamplesAndStops) {
+  SamplerOptions opts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-6.6"));
+  opts.cadence = std::chrono::milliseconds(1);
+  Sampler sampler(opts);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  // The thread samples immediately on start; wait for proof of life.
+  while (sampler.taken() == 0) std::this_thread::yield();
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const auto n = sampler.taken();
+  EXPECT_GE(n, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(sampler.taken(), n);  // really stopped
+}
+
+TEST(SamplerTest, SamplerOverParallelSweepIsRaceFree) {
+  // The tsan workload: a background sampler reading published counters
+  // at 1 ms cadence while parallel lanes hammer their shards and record
+  // spans. Any read of unsynchronized state here is a tsan report.
+  const int previous_threads = par::threads();
+  par::set_threads(2);
+  perf::PerfContext perf;
+  Telemetry telemetry;  // lanes = par::threads()
+  telemetry.install();
+  SamplerOptions opts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-6.6"));
+  opts.cadence = std::chrono::milliseconds(1);
+  opts.perf = &perf;
+  Sampler sampler(opts);
+  sampler.start();
+  for (int step = 0; step < 20; ++step) {
+    par::parallel_for(128, [&perf](int /*lane*/, std::size_t /*i*/) {
+      FHP_TRACE_SPAN("load.item");
+      perf.add(perf::Event::kCycles, 7);
+    });
+    perf.publish();  // step boundary: legal snapshot point
+  }
+  sampler.stop();
+  telemetry.uninstall();
+  par::set_threads(previous_threads);
+  EXPECT_EQ(telemetry.total_spans(), 20u * 128u);
+  EXPECT_EQ(perf.published().counters[perf::Event::kCycles],
+            20u * 128u * 7u);
+  EXPECT_GE(sampler.taken(), 1u);
+}
+
+// ---------------------------------------------------------------- timeline
+
+TEST(TimelineTest, ExportContainsSpansMarksCountersAndHistograms) {
+  FakeClock clock;
+  TelemetryOptions topts;
+  topts.lanes = 2;
+  topts.clock = clock.fn();
+  Telemetry telemetry(topts);
+  telemetry.record(0, {"driver.step", 1000, 9000, 0});
+  telemetry.record(0, {"hydro.sweep_x", 2000, 5000, 1});
+  telemetry.record(1, {"hydro.sweep_block", 2500, 2600, 0});
+  telemetry.mark_step(1, 0.125, 0.125);
+
+  SamplerOptions sopts =
+      SamplerOptions::with_procfs_root(fixture_root("kernel-6.6"));
+  sopts.clock = clock.fn();
+  Sampler sampler(sopts);
+  sampler.sample_once();
+
+  std::ostringstream os;
+  write_timeline(os, telemetry, &sampler);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver.step\""), std::string::npos);
+  EXPECT_NE(json.find("\"hydro.sweep_block\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // step mark
+  EXPECT_NE(json.find("\"meminfo.AnonHugePages\""), std::string::npos);
+  EXPECT_NE(json.find("\"vmstat.thp_fault_alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"flashhpSummary\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // ts values are normalized: the earliest event sits at 0.000 µs.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  // A deterministic export: same inputs, same bytes.
+  std::ostringstream os2;
+  write_timeline(os2, telemetry, &sampler);
+  EXPECT_EQ(json, os2.str());
+}
+
+TEST(TimelineTest, CsvPathDerivation) {
+  EXPECT_EQ(csv_path_for("timeline.json"), "timeline.csv");
+  EXPECT_EQ(csv_path_for("out/trace.json"), "out/trace.csv");
+  EXPECT_EQ(csv_path_for("trace"), "trace.csv");
+}
+
+TEST(TimelineTest, WriteFileThrowsOnUnwritablePath) {
+  Telemetry telemetry;
+  EXPECT_THROW(write_timeline_file("/nonexistent/dir/t.json", telemetry),
+               SystemError);
+}
+
+// ------------------------------------------------------------- environment
+
+TEST(ObsEnvironment, SampleMsParsesAndValidates) {
+  ::unsetenv(kSampleMsEnvVar);
+  EXPECT_EQ(sample_ms_from_environment(10), 10);
+  ::setenv(kSampleMsEnvVar, "25", 1);
+  EXPECT_EQ(sample_ms_from_environment(10), 25);
+  ::setenv(kSampleMsEnvVar, "0", 1);
+  EXPECT_THROW(static_cast<void>(sample_ms_from_environment(10)), ConfigError);
+  ::setenv(kSampleMsEnvVar, "fast", 1);
+  EXPECT_THROW(static_cast<void>(sample_ms_from_environment(10)), ConfigError);
+  ::unsetenv(kSampleMsEnvVar);
+}
+
+TEST(ObsEnvironment, TimelinePathDefaultsToDisabled) {
+  ::unsetenv(kTimelineEnvVar);
+  EXPECT_TRUE(timeline_from_environment().empty());
+  ::setenv(kTimelineEnvVar, "run.json", 1);
+  EXPECT_EQ(timeline_from_environment(), "run.json");
+  ::unsetenv(kTimelineEnvVar);
+}
+
+}  // namespace
+}  // namespace fhp::obs
+
+// ------------------------------------------------- allocation instrumentation
+//
+// Global operator-new override counting every allocation in the test
+// binary; the disabled-path guard above asserts the count stays flat
+// across 1e5 disabled span scopes.
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

@@ -47,6 +47,13 @@ so this linter does:
                       re-derived anywhere else silently assumes var_major
                       and breaks under FLASHHP_LAYOUT=zone_major|tiled.
 
+  procfs-hygiene      "/proc/..." path literals are allowed only under
+                      src/mem/ and src/obs/ — the readers there take
+                      injectable paths so tests can substitute fixture
+                      trees and so kernel-generation differences (absent
+                      fields) are handled in one place. A /proc literal
+                      anywhere else is an untestable, unversioned parse.
+
 Suppressions (sparingly, with a reason in the surrounding comment):
   // fhp-lint: allow(rule-id)         — this line only
   // fhp-lint: allow-file(rule-id)    — whole file; first 15 lines only
@@ -87,6 +94,8 @@ RULES = {
         "::instance() call site outside the src/perf compat shims",
     "layout-offset":
         "hand-rolled unk index arithmetic outside src/mesh/layout.*",
+    "procfs-hygiene":
+        '"/proc/..." path literal outside src/mem and src/obs',
 }
 
 
@@ -164,6 +173,81 @@ def strip_code(text: str) -> list[str]:
     return ["".join(chars) for chars in out]
 
 
+def string_literals(text: str) -> list[list[str]]:
+    """Per-line list of the *contents* of ordinary string literals —
+    the inverse slice of strip_code(), which blanks them. Comments and
+    char literals are skipped; escapes are passed through verbatim
+    (good enough for path-shaped content)."""
+    out: list[list[str]] = [[]]
+    state = "code"
+    current: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == "line-comment":
+                state = "code"
+            out.append([])
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                current = []
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == "string":
+            if c == "\\":
+                current.append(text[i:i + 2])
+                i += 2
+                continue
+            if c == '"':
+                out[-1].append("".join(current))
+                state = "code"
+                i += 1
+                continue
+            current.append(c)
+            i += 1
+            continue
+        if state == "char":
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            i += 1
+            continue
+        if state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+            continue
+        if state == "line-comment":
+            i += 1
+            continue
+    return out
+
+
+PROCFS_LITERAL_RE = re.compile(r"^/proc(?:/|$)")
+
+
 def shifted_value(lhs: str, rhs: str) -> int | None:
     try:
         return int(lhs, 0) << int(rhs, 0)
@@ -225,6 +309,9 @@ class Linter:
     def _is_layout(self, path: pathlib.Path) -> bool:
         return self._under(path, "mesh") and path.stem == "layout"
 
+    def _is_procfs_scope(self, path: pathlib.Path) -> bool:
+        return self._under(path, "mem") or self._under(path, "obs")
+
     # ----------------------------------------------------------------- scan
     def lint_file(self, path: pathlib.Path) -> None:
         if path.suffix not in CXX_SUFFIXES:
@@ -264,6 +351,21 @@ class Linter:
         in_bulk = self._is_bulk_scope(path)
         in_singleton_shim = self._is_singleton_shim(path)
         in_layout = self._is_layout(path)
+
+        # ---- procfs hygiene ------------------------------------------
+        # Scans string *contents* (a separate pass: strip_code blanks
+        # them), so "/proc" in a comment never matches and a literal
+        # split across concatenated lines is still seen per line.
+        if not self._is_procfs_scope(path):
+            for lineno, literals in enumerate(string_literals(text), start=1):
+                for lit in literals:
+                    if PROCFS_LITERAL_RE.search(lit):
+                        report(lineno, "procfs-hygiene",
+                               f'procfs path literal "{lit}" — go through '
+                               f'the injectable-path readers in src/mem '
+                               f'(MeminfoSnapshot, VmstatSnapshot, ...) or '
+                               f'the src/obs sampler')
+                        break
 
         if path.suffix in {".hpp", ".hh", ".h"} and raw_lines:
             if not any(PRAGMA_ONCE_RE.search(l) for l in code_lines):
@@ -484,6 +586,38 @@ SELF_TEST_FILES = {
         '// mmap(MADV_HUGEPAGE) is discussed here: 4096 bytes, madvise().\n'
         '/* new double[4096]; malloc(2097152); */\n'
         'const char* doc() { return "mmap 4096 madvise"; }\n',
+        {},
+    ),
+    # A /proc literal outside src/mem and src/obs is an untestable parse.
+    "src/sim/bad_procfs.cpp": (
+        '#include <fstream>\n'
+        'unsigned long read_total() {\n'
+        '  std::ifstream f("/proc/meminfo");\n'
+        '  std::ifstream g("/proc/self/smaps_rollup");\n'
+        '  return 0;\n'
+        '}\n',
+        {"procfs-hygiene": 2},
+    ),
+    # The injectable-path readers are the licensed home of those literals.
+    "src/mem/procfs_reader.cpp": (
+        'const char* default_meminfo() { return "/proc/meminfo"; }\n',
+        {},
+    ),
+    "src/obs/sampler_paths.cpp": (
+        'const char* default_vmstat() { return "/proc/vmstat"; }\n',
+        {},
+    ),
+    # /proc in comments must not trigger; /procfs-ish words must not
+    # trigger; an allow-comment licenses a deliberate one-off probe.
+    "src/perf/procfs_edges.cpp": (
+        '// reads /proc/sys/kernel/perf_event_paranoid at startup\n'
+        'const char* doc() { return "see procfs(5), not a path"; }\n'
+        'int paranoid() {\n'
+        '  // one root-owned knob, no fields to version\n'
+        '  const char* p = "/proc/sys/kernel/perf_event_paranoid";'
+        '  // fhp-lint: allow(procfs-hygiene)\n'
+        '  return p != nullptr;\n'
+        '}\n',
         {},
     ),
 }
