@@ -80,8 +80,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::Sampler> sampler;
   if (!timeline_path.empty()) {
     telemetry = std::make_unique<obs::Telemetry>();
-    telemetry->install();
-    units.telemetry = telemetry.get();
+    telemetry->install();  // ambient: driver spans route via support/trace
     units.perf = &perf;
     obs::SamplerOptions sopts;
     sopts.cadence =

@@ -39,6 +39,7 @@ void AdrFlame::advance(double dt) {
   }
   block_energy_.assign(leaves.size(), 0.0);
   par::parallel_for(leaves.size(), [&](int lane, std::size_t n) {
+    RegionWitness witness;  // region lambda body: lane writer role
     block_energy_[n] = advance_block(leaves[n], dt,
                                      lane_scratch_[static_cast<std::size_t>(lane)]);
   });

@@ -66,7 +66,10 @@ class AdrFlame {
  private:
   /// Both passes over one block; \p phi_new is per-lane scratch. Returns
   /// the block's released energy [erg].
-  double advance_block(int b, double dt, std::vector<double>& phi_new);
+  /// One leaf block's ADR update; runs as a region-lambda body on a pool
+  /// lane (writes only block b and its own lane scratch).
+  double advance_block(int b, double dt, std::vector<double>& phi_new)
+      FHP_REQUIRES_REGION;
 
   mesh::AmrMesh& mesh_;
   const FlameSpeedTable& speeds_;

@@ -5,8 +5,8 @@
 
 #include "hydro/riemann.hpp"
 #include "mem/page_size.hpp"
-#include "obs/telemetry.hpp"
 #include "par/parallel.hpp"
+#include "support/trace.hpp"
 #include "support/error.hpp"
 #include "tlb/geometry.hpp"
 
@@ -138,6 +138,7 @@ double HydroSolver::compute_dt() const {
   std::vector<double> lane_dt(static_cast<std::size_t>(par::threads()),
                               std::numeric_limits<double>::max());
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    RegionWitness witness;  // region lambda body: lane writer role
     auto& slot = lane_dt[static_cast<std::size_t>(lane)];
     slot = std::min(slot, block_dt(b));
   });
@@ -168,7 +169,7 @@ void HydroSolver::sweep(int axis, double dt) {
   // pointer), so the per-axis name is a table lookup, not a format.
   static constexpr const char* kSweepSpanNames[3] = {
       "hydro.sweep_x", "hydro.sweep_y", "hydro.sweep_z"};
-  obs::SpanScope sweep_span(kSweepSpanNames[axis]);
+  trace::SpanScope sweep_span(kSweepSpanNames[axis]);
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   // One scratch set per lane; sweep_block touches only block b's storage
   // and b's own flux-register slots, so blocks are independent.
@@ -176,6 +177,7 @@ void HydroSolver::sweep(int axis, double dt) {
   bufs.reserve(static_cast<std::size_t>(par::threads()));
   for (int l = 0; l < par::threads(); ++l) bufs.emplace_back(mesh_.config());
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    RegionWitness witness;  // region lambda body: lane writer role
     FHP_TRACE_SPAN("hydro.sweep_block");
     sweep_block(axis, dt, b, bufs[static_cast<std::size_t>(lane)]);
   });
@@ -581,6 +583,7 @@ void HydroSolver::eos_update() {
       static_cast<std::size_t>(par::threads()),
       std::vector<double>(static_cast<std::size_t>(c.nscalars)));
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
+    RegionWitness witness;  // region lambda body: lane writer role
     FHP_TRACE_SPAN("eos.block");
     eos_update_block(b, rows[static_cast<std::size_t>(lane)],
                      scalars[static_cast<std::size_t>(lane)]);

@@ -82,17 +82,20 @@ class HydroSolver {
  private:
   struct PencilBuffers;  // scratch arrays reused across pencils
 
-  void sweep_block(int axis, double dt, int b, PencilBuffers& buf);
+  /// Block kernels run as region-lambda bodies on pool lanes (each
+  /// writes only block-/lane-private data), hence FHP_REQUIRES_REGION.
+  void sweep_block(int axis, double dt, int b, PencilBuffers& buf)
+      FHP_REQUIRES_REGION;
   void apply_flux_corrections(int axis, double dt);
 
   /// CFL-limited dt of one leaf block (exact, order-independent min).
-  [[nodiscard]] double block_dt(int b) const;
+  [[nodiscard]] double block_dt(int b) const FHP_REQUIRES_REGION;
 
   /// Eos_wrapped pass over one leaf block; \p row and \p scalars are
   /// per-lane scratch (\p scalars holds one zone's gathered scalar vector
   /// under layouts that do not store variables contiguously).
   void eos_update_block(int b, std::vector<eos::State>& row,
-                        std::vector<double>& scalars);
+                        std::vector<double>& scalars) FHP_REQUIRES_REGION;
 
   [[nodiscard]] int ncons() const noexcept {
     return 5 + mesh_.config().nscalars;

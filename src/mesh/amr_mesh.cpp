@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "obs/telemetry.hpp"
+#include "support/trace.hpp"
 #include "par/parallel.hpp"
 #include "support/contracts.hpp"
 
@@ -287,6 +287,7 @@ void AmrMesh::fill_guardcells() {
     // (finalized by earlier level iterations).
     const std::vector<int>& blocks = tree_.blocks_at_level(level);
     par::parallel_for_blocks(blocks, [&](int /*lane*/, int b) {
+      RegionWitness witness;  // region lambda body: lane writer role
       fill_block_guards(b);
     });
   }

@@ -25,6 +25,7 @@
 #include "mesh/config.hpp"
 #include "mesh/tree.hpp"
 #include "mesh/unk.hpp"
+#include "support/lane.hpp"
 
 namespace fhp::mesh {
 
@@ -112,8 +113,9 @@ class AmrMesh {
   /// Fill every guard zone of one block (same-level copies, coarse
   /// interpolation, physical BCs). Writes only \p b's guards and reads
   /// only neighbor interiors / coarser levels, so blocks of one level
-  /// can run on different lanes concurrently.
-  void fill_block_guards(int b);
+  /// can run on different lanes concurrently — a region-lambda body,
+  /// hence FHP_REQUIRES_REGION.
+  void fill_block_guards(int b) FHP_REQUIRES_REGION;
   /// Fill the guards of one block in one direction from a same-level
   /// source block (handles periodic shifts implicitly via index copy).
   void copy_same_level(int dst, int src, const std::array<int, 3>& step);

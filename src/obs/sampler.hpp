@@ -40,6 +40,7 @@
 #include "mem/meminfo.hpp"
 #include "mem/vmstat.hpp"
 #include "perf/perf_context.hpp"
+#include "support/lane.hpp"
 
 namespace fhp::obs {
 
@@ -83,8 +84,9 @@ class Sampler {
 
   /// Capture one sample now, on the calling thread. Procfs read errors
   /// are counted (errors()), never thrown — a sampler must not take the
-  /// simulation down.
-  void sample_once();
+  /// simulation down. Drains published() only — never the lane shards —
+  /// so it must not run as a region lane (FHP_EXCLUDES_REGION).
+  void sample_once() FHP_EXCLUDES_REGION;
 
   /// Launch the background thread (no-op if already running).
   void start();
@@ -96,7 +98,7 @@ class Sampler {
   [[nodiscard]] bool running() const noexcept;
 
   /// Copy of the retained samples, oldest first.
-  [[nodiscard]] std::vector<Sample> samples() const;
+  [[nodiscard]] std::vector<Sample> samples() const FHP_EXCLUDES_REGION;
 
   /// Total samples ever captured (retained + dropped).
   [[nodiscard]] std::uint64_t taken() const;
@@ -113,7 +115,7 @@ class Sampler {
 
   /// Dump the retained samples as CSV (header + one row per sample;
   /// absent /proc fields are empty cells, not zeros).
-  void write_csv(std::ostream& os) const;
+  void write_csv(std::ostream& os) const FHP_EXCLUDES_REGION;
 
  private:
   void thread_main();

@@ -20,6 +20,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/contracts.hpp"
+#include "support/lane.hpp"
+
 namespace fhp::obs {
 
 /// One closed span. `name` must point at static-storage text (the
@@ -40,8 +43,11 @@ class SpanRing {
       : slots_(capacity == 0 ? 1 : capacity) {}
 
   /// Record one span; overwrites the oldest record when full. One slot
-  /// store + one increment — never blocks, never allocates.
-  void push(const SpanRecord& rec) noexcept {
+  /// store + one increment — never blocks, never allocates. Requires the
+  /// per-lane writer role (support/lane.hpp): only the thread running as
+  /// this ring's lane may push.
+  FHP_NO_ALLOC void push(const SpanRecord& rec) noexcept
+      FHP_REQUIRES_REGION {
     slots_[static_cast<std::size_t>(pushed_ % slots_.size())] = rec;
     ++pushed_;
   }
@@ -63,7 +69,8 @@ class SpanRing {
   }
 
   /// Retained records, oldest first. Reader-side only (after quiesce).
-  [[nodiscard]] std::vector<SpanRecord> in_order() const {
+  [[nodiscard]] std::vector<SpanRecord> in_order() const
+      FHP_EXCLUDES_REGION {
     std::vector<SpanRecord> out;
     const std::size_t n = size();
     out.reserve(n);

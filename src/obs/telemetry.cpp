@@ -12,15 +12,6 @@ namespace detail {
 
 std::atomic<Telemetry*> g_current{nullptr};
 
-namespace {
-/// Span nesting depth of the executing thread. Each lane traces its own
-/// call stack, so depth is thread-local, not telemetry-global.
-thread_local std::uint16_t t_span_depth = 0;
-}  // namespace
-
-std::uint16_t enter_span() noexcept { return t_span_depth++; }
-void exit_span() noexcept { --t_span_depth; }
-
 }  // namespace detail
 
 namespace {
@@ -50,12 +41,30 @@ void Telemetry::install() {
     throw ConfigError(
         "obs::Telemetry::install: another Telemetry is already installed");
   }
+  if (!trace::try_install(this)) {
+    // Some non-Telemetry sink occupies the support-layer slot.
+    detail::g_current.store(nullptr, std::memory_order_release);
+    throw ConfigError(
+        "obs::Telemetry::install: another trace sink is already installed");
+  }
 }
 
 void Telemetry::uninstall() noexcept {
+  trace::uninstall(this);
   Telemetry* expected = this;
   detail::g_current.compare_exchange_strong(expected, nullptr,
                                             std::memory_order_acq_rel);
+}
+
+void Telemetry::record_span(int lane, const char* name,
+                            std::uint64_t begin_ns, std::uint64_t end_ns,
+                            std::uint16_t depth) noexcept {
+  // Writer-role witness: a SpanScope destructs on the thread that opened
+  // it and passes that thread's own lane_id(), so the caller is by
+  // construction the single writer of lane's ring — whether it is a pool
+  // lane inside a region or the driver thread (lane 0) between regions.
+  RegionWitness witness;
+  record(lane, {name, begin_ns, end_ns, depth});
 }
 
 void Telemetry::mark_step(int step, double sim_time, double dt) {

@@ -7,9 +7,12 @@
 /// per-name latency histograms, step marks — before exporting the whole
 /// run as a chrome://tracing / Perfetto timeline (obs/timeline.hpp).
 ///
-/// One Telemetry at a time may be *installed* as the ambient span sink;
-/// FHP_TRACE_SPAN consults that ambient pointer so physics kernels do not
-/// need a telemetry reference plumbed through every signature. The
+/// One Telemetry at a time may be *installed* as the ambient span sink.
+/// The sink slot itself lives one layer down, in support/trace.hpp —
+/// FHP_TRACE_SPAN and the SpanScope that physics kernels use consult the
+/// support-layer facade, so mesh/hydro/sim never include this module
+/// (the module DAG puts obs on top; tools/fhp_analyze.py enforces it).
+/// Telemetry is the facade's in-tree trace::Sink implementation. The
 /// disabled path is the design's contract: with nothing installed a span
 /// scope is one relaxed atomic load and a branch — no clock read, no
 /// allocation, no syscall — so an untraced run pays nothing on the
@@ -36,6 +39,7 @@
 #include "obs/histogram.hpp"
 #include "obs/span.hpp"
 #include "par/parallel.hpp"
+#include "support/trace.hpp"
 
 namespace fhp {
 class RuntimeParams;
@@ -46,12 +50,10 @@ namespace fhp::obs {
 class Telemetry;
 
 namespace detail {
-/// The ambient installed Telemetry (null = tracing disabled). Exposed so
-/// SpanScope's disabled check inlines to a single atomic load.
+/// The installed Telemetry (null = none). Mirrors the support-layer
+/// trace sink slot but with the concrete type, so `Telemetry::current()`
+/// needs no downcast.
 extern std::atomic<Telemetry*> g_current;
-/// Per-thread span nesting depth bookkeeping for SpanScope.
-[[nodiscard]] std::uint16_t enter_span() noexcept;
-void exit_span() noexcept;
 }  // namespace detail
 
 /// Construction-time knobs. The defaults trace a full Sedov run (~1e5
@@ -69,21 +71,21 @@ struct TelemetryOptions {
 
 /// The observability context: owns the per-lane span rings and the step
 /// marks, builds per-name latency histograms, and (while installed) is
-/// the sink behind FHP_TRACE_SPAN.
-class Telemetry {
+/// the trace::Sink behind FHP_TRACE_SPAN.
+class Telemetry final : public trace::Sink {
  public:
   explicit Telemetry(TelemetryOptions options = {});
-  ~Telemetry();
+  ~Telemetry() override;
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
 
   /// Publish this context as the ambient FHP_TRACE_SPAN sink. Throws
-  /// fhp::ConfigError if another Telemetry is already installed.
-  void install();
+  /// fhp::ConfigError if another sink is already installed.
+  void install() FHP_EXCLUDES_REGION;
 
   /// Withdraw from the ambient slot (idempotent; the destructor calls
   /// it). Only legal when no region is in flight and no span is open.
-  void uninstall() noexcept;
+  void uninstall() noexcept FHP_EXCLUDES_REGION;
 
   [[nodiscard]] bool installed() const noexcept {
     return detail::g_current.load(std::memory_order_relaxed) == this;
@@ -95,17 +97,26 @@ class Telemetry {
   }
 
   /// Current timestamp from the injected clock.
-  [[nodiscard]] std::uint64_t now_ns() const { return clock_(); }
+  [[nodiscard]] std::uint64_t now_ns() const override { return clock_(); }
 
-  /// Record one closed span against \p lane's ring (hot path; called by
-  /// SpanScope). Lanes beyond the ring count are tallied as dropped.
-  void record(int lane, const SpanRecord& rec) noexcept {
+  /// Record one closed span against \p lane's ring (hot path; requires
+  /// the per-lane writer role — the caller must be the thread running as
+  /// that lane). Lanes beyond the ring count are tallied as dropped.
+  FHP_NO_ALLOC void record(int lane, const SpanRecord& rec) noexcept
+      FHP_REQUIRES_REGION {
     if (lane >= 0 && lane < static_cast<int>(rings_.size())) {
       rings_[static_cast<std::size_t>(lane)].push(rec);
     } else {
       overflow_drops_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+
+  /// trace::Sink hot path: a SpanScope closed on lane \p lane. Defined
+  /// out of line — it asserts the writer role before forwarding to
+  /// record() (the recording thread *is* that lane, by construction).
+  void record_span(int lane, const char* name, std::uint64_t begin_ns,
+                   std::uint64_t end_ns, std::uint16_t depth) noexcept
+      override;
 
   /// Annotate the timeline with a completed driver step (driver thread
   /// only; rendered as instant events carrying step/t/dt).
@@ -115,27 +126,29 @@ class Telemetry {
     double sim_time = 0.0;
     double dt = 0.0;
   };
-  void mark_step(int step, double sim_time, double dt);
+  void mark_step(int step, double sim_time, double dt) override;
 
   // ---- read side: driver thread, after lanes quiesce -----------------
   [[nodiscard]] int lanes() const noexcept {
     return static_cast<int>(rings_.size());
   }
-  [[nodiscard]] const SpanRing& ring(int lane) const;
+  [[nodiscard]] const SpanRing& ring(int lane) const FHP_EXCLUDES_REGION;
   [[nodiscard]] const std::vector<StepMark>& step_marks() const noexcept {
     return step_marks_;
   }
 
   /// Spans recorded over all lanes (retained + dropped).
-  [[nodiscard]] std::uint64_t total_spans() const noexcept;
+  [[nodiscard]] std::uint64_t total_spans() const noexcept
+      FHP_EXCLUDES_REGION;
 
   /// Spans lost to ring overwrite or out-of-range lanes.
-  [[nodiscard]] std::uint64_t dropped_spans() const noexcept;
+  [[nodiscard]] std::uint64_t dropped_spans() const noexcept
+      FHP_EXCLUDES_REGION;
 
   /// Per-span-name latency histograms (end - begin, ns), merged across
   /// every lane's retained records.
   [[nodiscard]] std::map<std::string, Histogram, std::less<>>
-  latency_histograms() const;
+  latency_histograms() const FHP_EXCLUDES_REGION;
 
  private:
   std::vector<SpanRing> rings_;
@@ -144,41 +157,9 @@ class Telemetry {
   std::atomic<std::uint64_t> overflow_drops_{0};
 };
 
-/// RAII span scope: records {name, begin, end, depth, lane} into the
-/// ambient Telemetry on destruction; a no-op (one atomic load) when none
-/// is installed. Use through FHP_TRACE_SPAN.
-class SpanScope {
- public:
-  explicit SpanScope(const char* name) {
-    Telemetry* t = Telemetry::current();
-    if (t == nullptr) return;
-    telemetry_ = t;
-    name_ = name;
-    depth_ = detail::enter_span();
-    begin_ns_ = t->now_ns();
-  }
-  ~SpanScope() {
-    if (telemetry_ == nullptr) return;
-    const std::uint64_t end_ns = telemetry_->now_ns();
-    detail::exit_span();
-    telemetry_->record(par::lane(), {name_, begin_ns_, end_ns, depth_});
-  }
-  SpanScope(const SpanScope&) = delete;
-  SpanScope& operator=(const SpanScope&) = delete;
-
- private:
-  Telemetry* telemetry_ = nullptr;
-  const char* name_ = nullptr;
-  std::uint64_t begin_ns_ = 0;
-  std::uint16_t depth_ = 0;
-};
-
-// NOLINTNEXTLINE(cppcoreguidelines-macro-usage) — needs __LINE__ pasting.
-#define FHP_OBS_CONCAT_(a, b) a##b
-#define FHP_OBS_CONCAT(a, b) FHP_OBS_CONCAT_(a, b)
-/// Trace the enclosing scope as a span named \p name (a string literal).
-#define FHP_TRACE_SPAN(name) \
-  ::fhp::obs::SpanScope FHP_OBS_CONCAT(fhp_obs_span_, __LINE__)(name)
+/// Compat alias: the RAII span scope moved to support/trace.hpp with the
+/// FHP_TRACE_SPAN macro (kernels below the obs layer use it from there).
+using SpanScope = ::fhp::trace::SpanScope;
 
 /// Environment variable naming the timeline output path ("" = disabled).
 inline constexpr const char* kTimelineEnvVar = "FLASHHP_TELEMETRY";

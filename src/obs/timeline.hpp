@@ -20,6 +20,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "support/lane.hpp"
+
 namespace fhp::obs {
 
 class Sampler;
@@ -29,12 +31,13 @@ class Telemetry;
 /// tracks, when given). Read side: driver thread, after lanes quiesce
 /// and the sampler is stopped.
 void write_timeline(std::ostream& os, const Telemetry& telemetry,
-                    const Sampler* sampler = nullptr);
+                    const Sampler* sampler = nullptr) FHP_EXCLUDES_REGION;
 
 /// write_timeline to \p path; throws fhp::SystemError when the file
 /// cannot be opened.
 void write_timeline_file(const std::string& path, const Telemetry& telemetry,
-                         const Sampler* sampler = nullptr);
+                         const Sampler* sampler = nullptr)
+    FHP_EXCLUDES_REGION;
 
 /// Derive the sampler CSV path next to a timeline path:
 /// "timeline.json" -> "timeline.csv", "trace" -> "trace.csv".

@@ -16,10 +16,6 @@
 namespace fhp::par {
 namespace {
 
-/// Lane of the executing thread. Workers overwrite this once at start;
-/// every other thread (including the region's caller) reads the default.
-thread_local int t_lane = 0;
-
 /// Persistent worker pool. Workers sleep on a condition variable between
 /// regions; a region is published as a monotonically increasing
 /// generation number plus a task body, and completion is counted back
@@ -82,7 +78,7 @@ class ThreadPool {
 
  private:
   void worker_main(int lane) {
-    t_lane = lane;
+    ::fhp::detail::bind_lane(lane);
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int, std::size_t)>* fn = nullptr;
@@ -139,17 +135,24 @@ class ThreadPool {
 /// ConfigError instead of a corrupted pool handshake.
 std::atomic<bool> g_region_active{false};
 
-/// RAII claim on the single-region slot.
-class RegionGuard {
+/// RAII claim on the single-region slot. Modeled as acquiring the
+/// support-layer region capability (support/lane.hpp): while a guard is
+/// alive the pool's lanes hold the per-lane writer role, so the
+/// thread-safety analysis rejects a nested parallel_for (which is
+/// FHP_EXCLUDES_REGION) at compile time; the runtime exchange() below
+/// stays as the defense against unannotated callers.
+class FHP_SCOPED_CAPABILITY RegionGuard {
  public:
-  RegionGuard() {
+  RegionGuard() FHP_ACQUIRE(::fhp::region_cap) {
     FHP_REQUIRE(!g_region_active.exchange(true, std::memory_order_acquire),
                 "parallel_for: regions must not be nested or issued "
                 "concurrently from two threads");
   }
   RegionGuard(const RegionGuard&) = delete;
   RegionGuard& operator=(const RegionGuard&) = delete;
-  ~RegionGuard() { g_region_active.store(false, std::memory_order_release); }
+  ~RegionGuard() FHP_RELEASE() {
+    g_region_active.store(false, std::memory_order_release);
+  }
 };
 
 /// Configured lane count; -1 means "not yet resolved from environment".
@@ -212,8 +215,6 @@ int threads() { return resolved_threads(); }
 void set_threads(int n) {
   g_threads.store(clamp_lanes(n), std::memory_order_release);
 }
-
-int lane() { return t_lane; }
 
 bool region_active() noexcept {
   return g_region_active.load(std::memory_order_acquire);

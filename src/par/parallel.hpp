@@ -34,6 +34,8 @@
 #include <functional>
 #include <span>
 
+#include "support/lane.hpp"
+
 namespace fhp {
 class RuntimeParams;
 }  // namespace fhp
@@ -44,7 +46,9 @@ namespace fhp::par {
 inline constexpr const char* kThreadsEnvVar = "FLASHHP_THREADS";
 
 /// Hard ceiling on the number of lanes (and thus counter shards).
-inline constexpr int kMaxLanes = 64;
+/// Aliases the support-layer constant so bottom-layer consumers (counter
+/// shards, span rings) need not depend on this module.
+inline constexpr int kMaxLanes = ::fhp::kMaxLanes;
 
 /// Parses `FLASHHP_THREADS`; returns `fallback` when unset. Throws
 /// `fhp::ConfigError` when set to a non-positive or non-numeric value.
@@ -61,7 +65,8 @@ void set_threads(int n);
 
 /// Lane of the calling thread: 0 for the caller (and for all serial
 /// code), `1..threads()-1` inside pool workers during a region.
-[[nodiscard]] int lane();
+/// Forwarding alias for `fhp::lane_id()` (support/lane.hpp).
+[[nodiscard]] inline int lane() noexcept { return ::fhp::lane_id(); }
 
 /// True while a pooled parallel region is in flight. Read-side telemetry
 /// helpers assert on this: per-lane rings and counter shards may only be
@@ -82,13 +87,17 @@ void apply_runtime_params(const RuntimeParams& params);
 /// rethrown on the caller after every lane has stopped. Regions share
 /// one global pool, so they must not be nested and may only be issued
 /// from one thread at a time (the single driver thread); violations
-/// throw `fhp::ConfigError` instead of corrupting the pool handshake.
+/// throw `fhp::ConfigError` instead of corrupting the pool handshake —
+/// and FHP_EXCLUDES_REGION makes the nested case a `-Wthread-safety`
+/// compile error first.
 void parallel_for(std::size_t n,
-                  const std::function<void(int lane, std::size_t i)>& fn);
+                  const std::function<void(int lane, std::size_t i)>& fn)
+    FHP_EXCLUDES_REGION;
 
 /// Runs `fn(lane, block)` for every block id in `blocks` (typically the
 /// mesh's leaf list), statically chunked across `threads()` lanes.
 void parallel_for_blocks(std::span<const int> blocks,
-                         const std::function<void(int lane, int block)>& fn);
+                         const std::function<void(int lane, int block)>& fn)
+    FHP_EXCLUDES_REGION;
 
 }  // namespace fhp::par

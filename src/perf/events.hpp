@@ -1,5 +1,5 @@
 /// \file events.hpp
-/// \brief Performance event identifiers and counter sets.
+/// \brief Performance event identifiers, counter sets, derived measures.
 ///
 /// The paper instruments FLASH with a PAPI event subset that "can
 /// characterize overall performance — use of SVE measured as SVE
@@ -7,63 +7,18 @@
 /// hardware cycles". We model the same set. Counter values flow from one
 /// of several backends (software model, perf_event, wall clock) into
 /// CounterSet snapshots; RegionStats accumulates deltas per code region.
+///
+/// The vocabulary itself — Event, CounterSet, event_name, plus the
+/// CounterSink producer interface — lives in support/events.hpp so that
+/// producers below the perf layer (the tlb machine model) can use it
+/// without an include edge that violates the module DAG. This header
+/// re-exports it and adds the report-side derived-measure types.
 
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <string_view>
+#include "support/events.hpp"  // IWYU pragma: export
 
 namespace fhp::perf {
-
-/// The events flashhp counts. kWallNanos is always captured; hardware-ish
-/// events come from the software machine model and/or perf_event.
-enum class Event : std::uint8_t {
-  kCycles = 0,      ///< modeled/HW CPU cycles (PAPI_TOT_CYC analog)
-  kInstructions,    ///< retired instructions (PAPI_TOT_INS analog)
-  kVectorOps,       ///< SVE-class vector instructions (paper's SVE measure)
-  kDtlbMisses,      ///< DTLB misses requiring a page-table walk
-  kTlbWalkCycles,   ///< cycles spent in page-table walks (model detail)
-  kBytesRead,       ///< bytes moved from memory (for the GB/s measure)
-  kBytesWritten,    ///< bytes moved to memory
-  kL1Misses,        ///< L1D misses (model detail)
-  kL2Misses,        ///< L2 misses = memory traffic events
-  kWallNanos,       ///< wall-clock nanoseconds
-};
-
-inline constexpr std::size_t kNumEvents = 10;
-
-/// PAPI-flavoured names, for reports ("PAPI_TOT_CYC", ...).
-[[nodiscard]] std::string_view event_name(Event e) noexcept;
-
-/// A value for every event. Plain aggregate; supports snapshot arithmetic.
-struct CounterSet {
-  std::array<std::uint64_t, kNumEvents> values{};
-
-  [[nodiscard]] std::uint64_t operator[](Event e) const noexcept {
-    return values[static_cast<std::size_t>(e)];
-  }
-  std::uint64_t& operator[](Event e) noexcept {
-    return values[static_cast<std::size_t>(e)];
-  }
-
-  /// Element-wise this - earlier (wraps are the caller's problem; our
-  /// sources are 64-bit and monotonic).
-  [[nodiscard]] CounterSet since(const CounterSet& earlier) const noexcept {
-    CounterSet d;
-    for (std::size_t i = 0; i < kNumEvents; ++i) {
-      d.values[i] = values[i] - earlier.values[i];
-    }
-    return d;
-  }
-
-  CounterSet& operator+=(const CounterSet& other) noexcept {
-    for (std::size_t i = 0; i < kNumEvents; ++i) {
-      values[i] += other.values[i];
-    }
-    return *this;
-  }
-};
 
 /// The five measures of the paper's Tables I/II (plus the FLASH timer,
 /// which is reported separately by the driver).

@@ -33,9 +33,10 @@
 
 #include <cstdint>
 
-#include "par/parallel.hpp"
 #include "perf/events.hpp"
 #include "perf/region.hpp"
+#include "support/contracts.hpp"
+#include "support/lane.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -56,30 +57,44 @@ struct alignas(64) CounterShard {
 };
 
 /// An instrumentation scope: sharded software counters plus the region
-/// registry that PerfRegions commit into.
-class PerfContext {
+/// registry that PerfRegions commit into. Implements the support-layer
+/// CounterSink so producers below the perf layer (the tlb machine model)
+/// can publish deltas through the abstract interface.
+///
+/// The shard discipline is annotated with the region capability
+/// (support/lane.hpp): writers (`add`, `add_all`) require the per-lane
+/// writer role, cross-shard readers (`snapshot`, `reset`, `publish`,
+/// `published`) require the lanes to be quiescent. Under Clang a
+/// misplaced call is a `-Wthread-safety` error (tests/compile_fail/).
+class PerfContext final : public CounterSink {
  public:
   PerfContext() = default;
   PerfContext(const PerfContext&) = delete;
   PerfContext& operator=(const PerfContext&) = delete;
 
   /// Add \p amount to \p event on the calling lane's shard. One add.
-  void add(Event event, std::uint64_t amount) noexcept {
-    shards_[static_cast<std::size_t>(par::lane())]
+  FHP_NO_ALLOC void add(Event event, std::uint64_t amount) noexcept
+      FHP_REQUIRES_REGION {
+    shards_[static_cast<std::size_t>(::fhp::lane_id())]
         .values[static_cast<std::size_t>(event)] += amount;
   }
 
   /// Bulk add (one call per committed machine-model quantum).
-  void add_all(const CounterSet& delta) noexcept {
-    CounterShard& shard = shards_[static_cast<std::size_t>(par::lane())];
+  FHP_NO_ALLOC void add_all(const CounterSet& delta) noexcept
+      FHP_REQUIRES_REGION {
+    CounterShard& shard = shards_[static_cast<std::size_t>(::fhp::lane_id())];
     for (std::size_t i = 0; i < kNumEvents; ++i) {
       shard.values[i] += delta.values[i];
     }
   }
 
+  /// CounterSink: merge a committed quantum's deltas (serial producers —
+  /// the tracing thread — between regions; see support/events.hpp).
+  void sink_counters(const CounterSet& delta) noexcept override;
+
   /// Sum of all shards. Call outside parallel regions (see file
   /// comment); exact and shard-order-independent.
-  [[nodiscard]] CounterSet snapshot() const noexcept {
+  [[nodiscard]] CounterSet snapshot() const noexcept FHP_EXCLUDES_REGION {
     CounterSet s;
     for (const CounterShard& shard : shards_) {
       for (std::size_t i = 0; i < kNumEvents; ++i) {
@@ -90,7 +105,7 @@ class PerfContext {
   }
 
   /// Zero every shard (between experiment arms / tests).
-  void reset() noexcept {
+  void reset() noexcept FHP_EXCLUDES_REGION {
     for (CounterShard& shard : shards_) {
       for (auto& v : shard.values) v = 0;
     }
@@ -103,7 +118,7 @@ class PerfContext {
   }
 
   /// Zero counters and clear all region stats.
-  void reset_all() {
+  void reset_all() FHP_EXCLUDES_REGION {
     reset();
     regions_.reset();
   }
@@ -115,11 +130,13 @@ class PerfContext {
   /// obs::Sampler) may call published() at any time from any thread
   /// without racing lane increments, because it only ever touches the
   /// mutex-guarded copy.
-  void publish();
+  void publish() FHP_EXCLUDES_REGION;
 
   /// Most recent publish() result (zero counters, seq 0 before the
-  /// first). Safe from any thread at any time.
-  [[nodiscard]] PublishedCounters published() const;
+  /// first). Safe from any thread at any time — but never from inside a
+  /// region lambda (a lane polling the published slot would serialize the
+  /// hot path on the publish mutex), hence FHP_EXCLUDES_REGION.
+  [[nodiscard]] PublishedCounters published() const FHP_EXCLUDES_REGION;
 
   /// The process-default context, used by the deprecated singleton shims
   /// and by units constructed without an explicit context. Prefer
@@ -127,7 +144,7 @@ class PerfContext {
   static PerfContext& global() noexcept;
 
  private:
-  CounterShard shards_[par::kMaxLanes] = {};
+  CounterShard shards_[::fhp::kMaxLanes] = {};
   RegionRegistry regions_;
 
   mutable Mutex publish_mutex_;

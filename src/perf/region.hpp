@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "perf/events.hpp"
+#include "support/lane.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -75,17 +76,21 @@ class RegionRegistry {
 /// clock read.
 class PerfRegion {
  public:
-  PerfRegion(PerfContext& context, std::string_view name);
+  /// Regions snapshot the context's shards on entry and exit, so they
+  /// start and stop only while the lanes are quiescent (see file
+  /// comment) — FHP_EXCLUDES_REGION enforces it statically.
+  PerfRegion(PerfContext& context, std::string_view name)
+      FHP_EXCLUDES_REGION;
 
   /// Deprecated compat shim: counts against `PerfContext::global()`.
-  explicit PerfRegion(std::string_view name);
+  explicit PerfRegion(std::string_view name) FHP_EXCLUDES_REGION;
 
   ~PerfRegion();
   PerfRegion(const PerfRegion&) = delete;
   PerfRegion& operator=(const PerfRegion&) = delete;
 
   /// Stop early (idempotent; the destructor then does nothing).
-  void stop();
+  void stop() FHP_EXCLUDES_REGION;
 
  private:
   PerfContext& context_;

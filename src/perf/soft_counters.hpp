@@ -25,22 +25,22 @@ class SoftCounters {
   static SoftCounters& instance() noexcept;
 
   /// Add \p amount to \p event on the calling lane's shard.
-  void add(Event event, std::uint64_t amount) noexcept {
+  void add(Event event, std::uint64_t amount) noexcept FHP_REQUIRES_REGION {
     PerfContext::global().add(event, amount);
   }
 
   /// Bulk add (one call per committed machine-model quantum).
-  void add_all(const CounterSet& delta) noexcept {
+  void add_all(const CounterSet& delta) noexcept FHP_REQUIRES_REGION {
     PerfContext::global().add_all(delta);
   }
 
   /// Snapshot current totals (wall clock filled in by the caller/backend).
-  [[nodiscard]] CounterSet snapshot() const noexcept {
+  [[nodiscard]] CounterSet snapshot() const noexcept FHP_EXCLUDES_REGION {
     return PerfContext::global().snapshot();
   }
 
   /// Zero all counters (tests and between-experiment hygiene).
-  void reset() noexcept { PerfContext::global().reset(); }
+  void reset() noexcept FHP_EXCLUDES_REGION { PerfContext::global().reset(); }
 
  private:
   SoftCounters() = default;

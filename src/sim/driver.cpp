@@ -6,6 +6,7 @@
 #include "perf/perf_context.hpp"
 #include "perf/region.hpp"
 #include "support/log.hpp"
+#include "support/trace.hpp"
 
 namespace fhp::sim {
 
@@ -134,9 +135,7 @@ void Driver::evolve() {
     // sampler thread only ever reads this published copy) and to stamp
     // the step mark onto the timeline.
     perf_.publish();
-    if (units_.telemetry != nullptr) {
-      units_.telemetry->mark_step(step_, time_, dt_);
-    }
+    trace::step_mark(step_, time_, dt_);
 
     if (options_.remesh_interval > 0 &&
         step_ % options_.remesh_interval == 0) {

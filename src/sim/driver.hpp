@@ -21,9 +21,12 @@
 #include "gravity/monopole.hpp"
 #include "hydro/hydro.hpp"
 #include "mesh/amr_mesh.hpp"
-#include "obs/telemetry.hpp"
 #include "perf/timers.hpp"
 #include "tlb/machine.hpp"
+
+namespace fhp::perf {
+class PerfContext;  // perf/perf_context.hpp — non-owning pointer only
+}
 
 namespace fhp::sim {
 
@@ -57,7 +60,9 @@ struct DriverUnits {
   tlb::Machine* machine = nullptr;  ///< machine model (enables tracing)
   EosTraceFn eos_trace;             ///< per-block EOS replay hook
   perf::PerfContext* perf = nullptr;  ///< context PerfRegions commit into
-  obs::Telemetry* telemetry = nullptr;  ///< span tracer / timeline sink
+  // Span tracing needs no wiring here: the driver marks steps through the
+  // ambient support/trace.hpp facade (install an obs::Telemetry to
+  // collect them) — sim does not depend on the obs layer.
 };
 
 /// The driver. Non-owning references; the setup wires everything through

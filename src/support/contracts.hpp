@@ -84,3 +84,16 @@ namespace detail {
 #define FHP_PRECONDITION(expr, msg) static_cast<void>(0)
 #define FHP_ASSERT(expr, msg) static_cast<void>(0)
 #endif
+
+/// Statically declares a function allocation-free: tools/fhp_analyze.py
+/// scans the lexical body of every FHP_NO_ALLOC-marked function (and of
+/// every parallel_for lambda) for `new`, malloc-family calls, and
+/// container growth, and fails the build on a hit. The runtime
+/// counterpart is the operator-new-counting guard in tests/test_obs.cpp.
+/// Under Clang the marker also leaves an `annotate` attribute in the AST
+/// for external tooling; under GCC it expands to nothing.
+#if defined(__clang__)
+#define FHP_NO_ALLOC __attribute__((annotate("fhp::no_alloc")))
+#else
+#define FHP_NO_ALLOC
+#endif

@@ -1,0 +1,9 @@
+#include "support/lane.hpp"
+
+namespace fhp::detail {
+
+thread_local int t_lane = 0;
+
+void bind_lane(int lane) noexcept { t_lane = lane; }
+
+}  // namespace fhp::detail

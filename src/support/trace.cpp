@@ -1,0 +1,37 @@
+#include "support/trace.hpp"
+
+namespace fhp::trace {
+
+namespace detail {
+
+std::atomic<Sink*> g_sink{nullptr};
+
+namespace {
+/// Span nesting depth of the executing thread. Each lane traces its own
+/// call stack, so depth is thread-local, not sink-global.
+thread_local std::uint16_t t_span_depth = 0;
+}  // namespace
+
+std::uint16_t enter_span() noexcept { return t_span_depth++; }
+void exit_span() noexcept { --t_span_depth; }
+
+}  // namespace detail
+
+bool try_install(Sink* s) noexcept {
+  Sink* expected = nullptr;
+  return detail::g_sink.compare_exchange_strong(expected, s,
+                                                std::memory_order_acq_rel);
+}
+
+void uninstall(Sink* s) noexcept {
+  Sink* expected = s;
+  detail::g_sink.compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_acq_rel);
+}
+
+void step_mark(int step, double sim_time, double dt) {
+  Sink* s = sink();
+  if (s != nullptr) s->mark_step(step, sim_time, dt);
+}
+
+}  // namespace fhp::trace

@@ -1,0 +1,122 @@
+/// \file trace.hpp
+/// \brief The ambient span-tracing facade behind FHP_TRACE_SPAN.
+///
+/// Physics kernels (mesh, hydro, flame) and the driver mark timed scopes
+/// with FHP_TRACE_SPAN, but the timeline machinery that stores and
+/// exports those spans lives in fhp::obs — the *top* layer of the module
+/// DAG, above sim. The layers in between may not include it (the
+/// layering rule in tools/fhp_analyze.py makes that an error), so this
+/// facade inverts the dependency: support defines the abstract Sink and
+/// the one ambient slot, obs::Telemetry implements the Sink and installs
+/// itself, and everything in between depends only on support.
+///
+/// The disabled path is the design's contract: with no sink installed a
+/// SpanScope is one relaxed atomic load and a branch — no clock read, no
+/// allocation, no virtual call — so an untraced run pays nothing on the
+/// block-sweep hot path (tests/test_obs.cpp holds this with an
+/// allocation-counting guard).
+///
+/// Threading contract: spans may close on the driver thread and on pool
+/// lanes inside a parallel region — each records only against its own
+/// lane (see support/lane.hpp for the writer-role capability this maps
+/// to). Installing and uninstalling a sink is setup-time, driver-thread
+/// work, outside any region.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/lane.hpp"
+
+namespace fhp::trace {
+
+/// Abstract span sink. Implemented by obs::Telemetry; the virtual calls
+/// are intentionally unannotated for the thread-safety analysis — the
+/// implementation asserts its own writer-role invariants (per-lane
+/// single-writer rings) where it touches lane-private storage.
+class Sink {
+ public:
+  Sink() = default;
+  virtual ~Sink() = default;
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  /// Current timestamp in nanoseconds (SpanScope reads it twice).
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+
+  /// One closed span, recorded against \p lane. Hot path: must not
+  /// block and must not allocate.
+  virtual void record_span(int lane, const char* name,
+                           std::uint64_t begin_ns, std::uint64_t end_ns,
+                           std::uint16_t depth) noexcept = 0;
+
+  /// Timeline annotation for a completed driver step (driver thread
+  /// only, between regions).
+  virtual void mark_step(int step, double sim_time, double dt) = 0;
+};
+
+namespace detail {
+/// The ambient installed sink (null = tracing disabled). Exposed so
+/// SpanScope's disabled check inlines to a single atomic load.
+extern std::atomic<Sink*> g_sink;
+/// Per-thread span nesting depth bookkeeping for SpanScope.
+[[nodiscard]] std::uint16_t enter_span() noexcept;
+void exit_span() noexcept;
+}  // namespace detail
+
+/// The ambient sink, or null when tracing is disabled.
+[[nodiscard]] inline Sink* sink() noexcept {
+  return detail::g_sink.load(std::memory_order_acquire);
+}
+
+/// Publish \p s as the ambient sink. Returns false (and installs
+/// nothing) when another sink is already installed.
+[[nodiscard]] bool try_install(Sink* s) noexcept;
+
+/// Withdraw \p s from the ambient slot; a no-op when some other sink is
+/// installed (idempotent).
+void uninstall(Sink* s) noexcept;
+
+/// Forward a completed driver step to the ambient sink (no-op when
+/// tracing is disabled). Driver thread only, between regions — hence
+/// FHP_EXCLUDES_REGION.
+void step_mark(int step, double sim_time, double dt) FHP_EXCLUDES_REGION;
+
+/// RAII span scope: records {name, begin, end, depth, lane} into the
+/// ambient sink on destruction; a no-op (one atomic load) when none is
+/// installed. Use through FHP_TRACE_SPAN.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    Sink* s = trace::sink();
+    if (s == nullptr) return;
+    sink_ = s;
+    name_ = name;
+    depth_ = detail::enter_span();
+    begin_ns_ = s->now_ns();
+  }
+  ~SpanScope() {
+    if (sink_ == nullptr) return;
+    const std::uint64_t end_ns = sink_->now_ns();
+    detail::exit_span();
+    sink_->record_span(::fhp::lane_id(), name_, begin_ns_, end_ns, depth_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Sink* sink_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+}  // namespace fhp::trace
+
+// NOLINTNEXTLINE(cppcoreguidelines-macro-usage) — needs __LINE__ pasting.
+#define FHP_TRACE_CONCAT_(a, b) a##b
+#define FHP_TRACE_CONCAT(a, b) FHP_TRACE_CONCAT_(a, b)
+/// Trace the enclosing scope as a span named \p name (a string literal).
+#define FHP_TRACE_SPAN(name) \
+  ::fhp::trace::SpanScope FHP_TRACE_CONCAT(fhp_trace_span_, __LINE__)(name)

@@ -3,13 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
-#include "perf/perf_context.hpp"
-
 namespace fhp::tlb {
 
-Machine::Machine(const MachineParams& params, perf::PerfContext* context)
+Machine::Machine(const MachineParams& params, perf::CounterSink* sink)
     : params_(params),
-      context_(context != nullptr ? context : &perf::PerfContext::global()),
+      sink_(sink),
       l1_tlb_(params.l1_tlb),
       l2_tlb_(params.l2_tlb),
       l1d_(params.l1d),
@@ -80,30 +78,32 @@ double Machine::commit(std::uint64_t scale) noexcept {
                                 (1.0 - params_.walk_overlap);
   const double final_cycles = scaled_cycles + bg_walk_cycles;
 
-  perf::PerfContext& sc = *context_;
-  const std::uint32_t line = params_.l1d.line_bytes;
-  auto scaled = [scale](std::uint64_t v) { return v * scale; };
-  sc.add(perf::Event::kCycles,
-         static_cast<std::uint64_t>(std::llround(final_cycles)));
-  sc.add(perf::Event::kInstructions,
-         scaled(quantum_.scalar_ops + quantum_.vector_ops + quantum_.accesses));
-  sc.add(perf::Event::kVectorOps, scaled(quantum_.vector_ops));
-  // The paper's PAPI DTLB-miss event counts *L1* DTLB misses (the A64FX
-  // L1 DTLB is a 48-entry fully-associative structure that the EOS's
-  // table gathers thrash); walks are the subset that also missed the L2
-  // TLB and paid for a page-table walk.
-  sc.add(perf::Event::kDtlbMisses,
-         scaled(quantum_.l1_tlb_misses) +
-             static_cast<std::uint64_t>(std::llround(bg_misses)));
-  sc.add(perf::Event::kTlbWalkCycles,
-         static_cast<std::uint64_t>(std::llround(
-             static_cast<double>(scaled(quantum_.walks)) *
-                 params_.walk_cycles * (1.0 - params_.walk_overlap) +
-             bg_walk_cycles)));
-  sc.add(perf::Event::kBytesRead, scaled(quantum_.bytes_read(line)));
-  sc.add(perf::Event::kBytesWritten, scaled(quantum_.bytes_written(line)));
-  sc.add(perf::Event::kL1Misses, scaled(quantum_.l1d_misses));
-  sc.add(perf::Event::kL2Misses, scaled(quantum_.l2_misses));
+  if (sink_ != nullptr) {
+    const std::uint32_t line = params_.l1d.line_bytes;
+    auto scaled = [scale](std::uint64_t v) { return v * scale; };
+    perf::CounterSet delta;
+    delta[perf::Event::kCycles] =
+        static_cast<std::uint64_t>(std::llround(final_cycles));
+    delta[perf::Event::kInstructions] =
+        scaled(quantum_.scalar_ops + quantum_.vector_ops + quantum_.accesses);
+    delta[perf::Event::kVectorOps] = scaled(quantum_.vector_ops);
+    // The paper's PAPI DTLB-miss event counts *L1* DTLB misses (the A64FX
+    // L1 DTLB is a 48-entry fully-associative structure that the EOS's
+    // table gathers thrash); walks are the subset that also missed the L2
+    // TLB and paid for a page-table walk.
+    delta[perf::Event::kDtlbMisses] =
+        scaled(quantum_.l1_tlb_misses) +
+        static_cast<std::uint64_t>(std::llround(bg_misses));
+    delta[perf::Event::kTlbWalkCycles] = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(scaled(quantum_.walks)) *
+                         params_.walk_cycles * (1.0 - params_.walk_overlap) +
+                     bg_walk_cycles));
+    delta[perf::Event::kBytesRead] = scaled(quantum_.bytes_read(line));
+    delta[perf::Event::kBytesWritten] = scaled(quantum_.bytes_written(line));
+    delta[perf::Event::kL1Misses] = scaled(quantum_.l1d_misses);
+    delta[perf::Event::kL2Misses] = scaled(quantum_.l2_misses);
+    sink_->sink_counters(delta);
+  }
 
   total_cycles_ += final_cycles;
   quantum_ = QuantumStats{};

@@ -4,8 +4,9 @@
 /// Kernels replay their (sampled) address streams into a Machine; at the
 /// end of each sampling quantum, commit() converts the observed event
 /// counts into modeled cycles and publishes everything — scaled by the
-/// sampling factor — to a perf::PerfContext, where PerfRegion picks them
-/// up. The model carries warm TLB/cache state across quanta, so tracing
+/// sampling factor — through the abstract perf::CounterSink
+/// (support/events.hpp; in practice a perf::PerfContext, where PerfRegion
+/// picks the deltas up). The model carries warm TLB/cache state across quanta, so tracing
 /// stays on one thread regardless of FLASHHP_THREADS — which is also why
 /// modeled counters are bit-identical across thread counts.
 ///
@@ -35,13 +36,11 @@
 
 #include <cstdint>
 
+#include "support/contracts.hpp"
+#include "support/events.hpp"
 #include "tlb/cache_model.hpp"
 #include "tlb/geometry.hpp"
 #include "tlb/tlb_model.hpp"
-
-namespace fhp::perf {
-class PerfContext;
-}  // namespace fhp::perf
 
 namespace fhp::tlb {
 
@@ -84,16 +83,18 @@ struct MachineParams : MachineConfig {
 /// across quanta (warm caches), counters are re-zeroed per quantum.
 class Machine {
  public:
-  /// \param context the PerfContext commit() publishes into; null means
-  ///        `perf::PerfContext::global()` (deprecated migration default —
-  ///        pass the arm's context explicitly in new code).
+  /// \param sink where commit() publishes each quantum's scaled counter
+  ///        deltas (typically the experiment arm's perf::PerfContext);
+  ///        null means model-only — cycles still accumulate in
+  ///        `total_cycles()`, counters are dropped. The old null-means-
+  ///        global-context fallback is gone: publishing is explicit.
   explicit Machine(const MachineParams& params = {},
-                   perf::PerfContext* context = nullptr);
+                   perf::CounterSink* sink = nullptr);
 
   /// Replay one memory operation of \p bytes at \p addr. Internally splits
   /// into cache lines; each line is one TLB + cache lookup.
-  void touch(const void* addr, std::size_t bytes, bool write,
-             std::uint8_t page_shift) noexcept;
+  FHP_NO_ALLOC void touch(const void* addr, std::size_t bytes, bool write,
+                          std::uint8_t page_shift) noexcept;
 
   /// Account pure compute work (operation counts, not cycles).
   void compute(std::uint64_t scalar_ops, std::uint64_t vector_ops) noexcept {
@@ -102,9 +103,11 @@ class Machine {
   }
 
   /// Convert the quantum's event counts to cycles, scale everything by
-  /// \p scale (the sampling factor) and publish to the PerfContext.
-  /// Returns the *unscaled* modeled cycles of this quantum.
-  double commit(std::uint64_t scale = 1) noexcept;
+  /// \p scale (the sampling factor) and publish one delta to the sink.
+  /// Returns the *unscaled* modeled cycles of this quantum. Tracing is
+  /// serial, between parallel regions (see file comment) — hence
+  /// FHP_EXCLUDES_REGION, matching the sink's contract.
+  double commit(std::uint64_t scale = 1) noexcept FHP_EXCLUDES_REGION;
 
   /// Modeled cycles for a quantum's stats without committing (for tests).
   [[nodiscard]] double model_cycles(const QuantumStats& q) const noexcept;
@@ -126,7 +129,7 @@ class Machine {
 
  private:
   MachineParams params_;
-  perf::PerfContext* context_;
+  perf::CounterSink* sink_;
   TlbModel l1_tlb_;
   TlbModel l2_tlb_;
   CacheModel l1d_;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "par/parallel.hpp"
 #include "perf/events.hpp"
 #include "perf/perf_context.hpp"
 #include "perf/perf_event_backend.hpp"
