@@ -1,0 +1,132 @@
+"""fhp_report: shared finding model + emitters for the flashhp analyzers.
+
+Both tools/flashhp_lint.py (textual invariant linter) and
+tools/fhp_analyze.py (layering / capability / allocation analyzer) report
+through this module so that `--format=human|json|sarif` means the same
+thing everywhere:
+
+  human   one `path:line: [rule] message` line per finding (the default,
+          what a developer reads in a terminal and what editors parse),
+  json    a single machine-readable object for scripting,
+  sarif   SARIF 2.1.0 for code-scanning upload (GitHub's
+          `upload-sarif` action ingests it directly).
+
+The emitters are deliberately dependency-free (stdlib json only) and
+deterministic: findings are emitted in (path, line, rule) order so diffs
+of analyzer output are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import IO
+
+FORMATS = ("human", "json", "sarif")
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json")
+
+
+@dataclass
+class Finding:
+    """One analyzer finding, path kept repo-relative for stable output."""
+    path: str     # repo-relative, forward slashes
+    line: int     # 1-based
+    rule: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+def relativize(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def emit_human(findings: list[Finding], stream: IO[str]) -> None:
+    for f in sorted(findings, key=Finding.sort_key):
+        stream.write(f"{f.path}:{f.line}: [{f.rule}] {f.message}\n")
+
+
+def emit_json(tool: str, version: str, findings: list[Finding],
+              rules: dict[str, str], stream: IO[str]) -> None:
+    doc = {
+        "tool": tool,
+        "version": version,
+        "rules": rules,
+        "findingCount": len(findings),
+        "findings": [
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    json.dump(doc, stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+def emit_sarif(tool: str, version: str, findings: list[Finding],
+               rules: dict[str, str], stream: IO[str],
+               info_uri: str = "") -> None:
+    """SARIF 2.1.0 with one run; every finding is level "error" because
+    the analyzers are pass/fail gates, not advisory hints."""
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool,
+                    "version": version,
+                    "informationUri": info_uri,
+                    "rules": [
+                        {
+                            "id": rule,
+                            "shortDescription": {"text": summary},
+                            "defaultConfiguration": {"level": "error"},
+                        }
+                        for rule, summary in sorted(rules.items())
+                    ],
+                }
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [
+                {
+                    "ruleId": f.rule,
+                    "level": "error",
+                    "message": {"text": f.message},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": max(f.line, 1)},
+                        }
+                    }],
+                }
+                for f in sorted(findings, key=Finding.sort_key)
+            ],
+        }],
+    }
+    json.dump(doc, stream, indent=2)
+    stream.write("\n")
+
+
+def emit(fmt: str, tool: str, version: str, findings: list[Finding],
+         rules: dict[str, str], stream: IO[str], info_uri: str = "") -> None:
+    if fmt == "human":
+        emit_human(findings, stream)
+    elif fmt == "json":
+        emit_json(tool, version, findings, rules, stream)
+    elif fmt == "sarif":
+        emit_sarif(tool, version, findings, rules, stream, info_uri)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(f"unknown format: {fmt}")

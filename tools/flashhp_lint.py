@@ -72,6 +72,10 @@ import sys
 import tempfile
 from dataclasses import dataclass
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import fhp_report  # noqa: E402
+
 CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 
 # Byte values that are page sizes on machines this project cares about:
@@ -677,6 +681,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("paths", nargs="*", type=pathlib.Path,
                         help="files or directories to lint "
                              "(default: <root>/src)")
+    parser.add_argument("--format", choices=fhp_report.FORMATS,
+                        default="human", help="output format")
+    parser.add_argument("--output", type=pathlib.Path,
+                        help="write the report here instead of stdout")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule ids and exit")
     parser.add_argument("--self-test", action="store_true",
@@ -703,13 +711,27 @@ def main(argv: list[str]) -> int:
 
     linter = Linter(root)
     linter.lint_tree(paths)
-    for v in linter.violations:
-        print(v.format(root))
-    if linter.violations:
-        print(f"flashhp_lint: {len(linter.violations)} violation(s)",
+    findings = [
+        fhp_report.Finding(fhp_report.relativize(v.path, root), v.line,
+                           v.rule, v.message)
+        for v in linter.violations
+    ]
+    stream = sys.stdout
+    if args.output:
+        stream = args.output.open("w", encoding="utf-8")
+    try:
+        fhp_report.emit(args.format, "flashhp_lint", "1.0", findings,
+                        RULES, stream,
+                        info_uri="tools/flashhp_lint.py in this repository")
+        if args.format == "human" and not findings:
+            stream.write("flashhp_lint: clean\n")
+    finally:
+        if args.output:
+            stream.close()
+    if findings:
+        print(f"flashhp_lint: {len(findings)} violation(s)",
               file=sys.stderr)
         return 1
-    print("flashhp_lint: clean")
     return 0
 
 
