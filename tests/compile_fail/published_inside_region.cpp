@@ -1,0 +1,17 @@
+/// \file published_inside_region.cpp
+/// \brief MUST NOT COMPILE under clang -Wthread-safety -Werror.
+///
+/// Reading the published (aggregated) counters from inside a parallel
+/// region: published() excludes the region capability because the
+/// aggregation is only coherent between regions, when the lanes are
+/// quiescent. Expected diagnostic:
+///   ... while mutex 'region_cap' is held ...
+/// (asserted by PASS_REGULAR_EXPRESSION in CMakeLists.txt).
+
+#include "perf/perf_context.hpp"
+#include "support/lane.hpp"
+
+std::uint64_t read_in_region(fhp::perf::PerfContext& ctx) {
+  fhp::RegionWitness witness;  // models code running on a pool lane
+  return ctx.published().counters[fhp::perf::Event::kCycles];
+}

@@ -1,0 +1,14 @@
+/// \file shard_write_outside_region.cpp
+/// \brief MUST NOT COMPILE under clang -Wthread-safety -Werror.
+///
+/// A lane-sharded counter write (PerfContext::add) outside a parallel
+/// region: nothing holds the region capability, so two threads doing
+/// this could race on the same shard. Expected diagnostic:
+///   ... requires holding mutex 'region_cap' ...
+/// (asserted by PASS_REGULAR_EXPRESSION in CMakeLists.txt).
+
+#include "perf/perf_context.hpp"
+
+void leak_counter_write(fhp::perf::PerfContext& ctx) {
+  ctx.add(fhp::perf::Event::kCycles, 1);  // no RegionGuard/RegionWitness
+}
