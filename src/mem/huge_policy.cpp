@@ -30,6 +30,8 @@ std::optional<HugePolicy> parse_huge_policy(std::string_view s) {
 
 HugePolicy policy_from_environment(HugePolicy fallback) {
   for (const char* var : {kPolicyEnvVar, kFujitsuPolicyEnvVar}) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once when the page
+    // policy is chosen at startup, single-threaded; nothing calls setenv.
     if (const char* raw = std::getenv(var); raw != nullptr && *raw != '\0') {
       const auto parsed = parse_huge_policy(raw);
       if (!parsed) {

@@ -32,6 +32,8 @@ std::optional<LayoutKind> parse_layout(std::string_view s) {
 }
 
 LayoutKind layout_from_environment(LayoutKind fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once at mesh setup,
+  // before any worker threads exist; nothing in-process calls setenv.
   if (const char* raw = std::getenv(kLayoutEnvVar);
       raw != nullptr && *raw != '\0') {
     const auto parsed = parse_layout(raw);

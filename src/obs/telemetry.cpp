@@ -104,11 +104,15 @@ std::map<std::string, Histogram, std::less<>> Telemetry::latency_histograms()
 }
 
 std::string timeline_from_environment() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once at telemetry
+  // setup, before any worker threads exist; nothing calls setenv.
   const char* raw = std::getenv(kTimelineEnvVar);
   return raw == nullptr ? std::string() : std::string(raw);
 }
 
 int sample_ms_from_environment(int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once at sampler
+  // setup, before any worker threads exist; nothing calls setenv.
   const char* raw = std::getenv(kSampleMsEnvVar);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;

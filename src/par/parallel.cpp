@@ -199,6 +199,8 @@ ThreadPool* pool_for(int lanes) {
 }  // namespace
 
 int threads_from_environment(int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once before the pool
+  // spins up its first worker; nothing in-process calls setenv.
   const char* raw = std::getenv(kThreadsEnvVar);
   if (raw == nullptr || *raw == '\0') return clamp_lanes(fallback);
   char* end = nullptr;
