@@ -9,6 +9,16 @@
 #           invariants the compiler cannot check. Always available (only
 #           needs a Python 3 interpreter) and also registered as a ctest
 #           case from tests/CMakeLists.txt.
+#   analyze — the structural analyzer (tools/fhp_analyze.py): module
+#           layering DAG, include-graph cycles, allocation freedom in
+#           parallel regions and FHP_NO_ALLOC bodies. Driven from this
+#           build tree's compile_commands.json so it scans exactly the
+#           TUs the build compiles (plus every header under src/).
+#
+# The clang static analyzer (scan-build) is not a target here: it has to
+# wrap the compiler, so CI runs `analyze-build --cdb
+# build/compile_commands.json --status-bugs` directly (see the analyze
+# job in .github/workflows/ci.yml).
 
 set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
 
@@ -42,5 +52,12 @@ if(Python3_Interpreter_FOUND)
       --root ${CMAKE_SOURCE_DIR}
     WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
     COMMENT "flashhp_lint.py (huge-page invariant linter)"
+    VERBATIM)
+
+  add_custom_target(analyze
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/fhp_analyze.py
+      --root ${CMAKE_SOURCE_DIR} -p ${CMAKE_BINARY_DIR}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "fhp_analyze.py (layering / region-allocation analyzer)"
     VERBATIM)
 endif()
