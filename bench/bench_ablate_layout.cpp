@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "experiment_common.hpp"
 #include "mem/huge_policy.hpp"
 #include "mesh/config.hpp"
 #include "mesh/layout.hpp"
@@ -135,31 +136,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", json.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"ablate_layout\",\n"
-               "  \"block\": {\"nvar\": %d, \"padded_extent\": %d, "
-               "\"blocks\": %d},\n"
-               "  \"grid\": [\n",
-               config.nvar(), config.ni(), config.maxblocks);
-  for (std::size_t n = 0; n < cells.size(); ++n) {
-    const Cell& c = cells[n];
-    std::fprintf(
-        f,
-        "    {\"layout\": \"%s\", \"page_shift\": %d, \"page\": \"%s\", "
-        "\"accesses\": %llu, \"l1_dtlb_misses\": %llu, \"walks\": %llu}%s\n",
-        std::string(mesh::to_string(c.layout)).c_str(), c.shift, c.page,
-        static_cast<unsigned long long>(c.q.accesses),
-        static_cast<unsigned long long>(c.q.l1_tlb_misses),
-        static_cast<unsigned long long>(c.q.walks),
-        n + 1 < cells.size() ? "," : "");
+  bench::JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", "ablate_layout");
+  w.begin_object("block");
+  w.field("nvar", config.nvar());
+  w.field("padded_extent", config.ni());
+  w.field("blocks", config.maxblocks);
+  w.end_object();
+  w.begin_array("grid");
+  for (const Cell& c : cells) {
+    w.begin_object();
+    w.field("layout", std::string(mesh::to_string(c.layout)));
+    w.field("page_shift", static_cast<int>(c.shift));
+    w.field("page", c.page);
+    w.field("accesses", c.q.accesses);
+    w.field("l1_dtlb_misses", c.q.l1_tlb_misses);
+    w.field("walks", c.q.walks);
+    w.end_object();
   }
-  std::fprintf(f,
-               "  ],\n"
-               "  \"var_major_over_zone_major_4k_misses\": %.3f,\n"
-               "  \"zone_major_10x_claim_holds\": %s\n"
-               "}\n",
-               miss_ratio, claim_holds ? "true" : "false");
+  w.end_array();
+  w.field("var_major_over_zone_major_4k_misses", miss_ratio);
+  w.field("zone_major_10x_claim_holds", claim_holds);
+  w.end_object();
   std::fclose(f);
   std::printf("# wrote %s\n", json.c_str());
   return claim_holds ? 0 : 1;

@@ -9,9 +9,13 @@
 ///                           [--obs.timeline=PATH] [--obs.sample_ms=N]
 ///
 /// With --json=PATH the paper table is skipped; instead the without-HP
-/// arm runs at 1, 2 and 4 threads and the wall times land in PATH as
-/// JSON (the CI perf-trajectory artifact, BENCH_hydro.json). Modeled
-/// counters are asserted bit-identical across the three runs.
+/// workload runs as two arms — `bulk_sync` (barrier loops) and
+/// `task_graph` (the block-task DAG) — at 1, 2 and 4 threads through the
+/// shared bench::run_thread_scan harness, and the wall times land in
+/// PATH as JSON (the CI perf-trajectory artifact, BENCH_hydro.json).
+/// Modeled counters are asserted bit-identical across all six runs: the
+/// determinism contract says neither the lane count nor the execution
+/// mode may change the physics or the published counters.
 ///
 /// With --obs.timeline=PATH (or FLASHHP_TELEMETRY) the whole bench is
 /// traced — per-lane spans plus a background memory/THP sampler — and
@@ -23,6 +27,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "experiment_runners.hpp"
 #include "obs/sampler.hpp"
@@ -32,72 +37,53 @@
 
 namespace {
 
-/// The 1/2/4-thread scan behind --json=PATH. Returns 0 on success.
+/// One scan run: the without-HP Sedov workload in the given execution
+/// mode. Returns the wall time of the evolution loop only: mesh setup
+/// and the serial tracing/commit work would otherwise dilute the
+/// reported parallel-sweep speedup.
+double run_hydro_scan_arm(fhp::bench::ExperimentArm& arm, fhp::sim::ExecMode mode,
+                          int nsteps, int max_level, int sample) {
+  using namespace fhp;
+  sim::SedovParams params;
+  params.max_level = max_level;
+  params.maxblocks = 700;
+  sim::SedovSetup setup(params, mem::HugePolicy::kNone);
+  hydro::HydroOptions hopt;
+  hopt.cfl = 0.6;
+  hydro::HydroSolver hydro(setup.mesh(), setup.eos(), hopt);
+  sim::DriverOptions dopt;
+  dopt.nsteps = nsteps;
+  dopt.trace_sample = sample;
+  dopt.verbose = false;
+  dopt.exec_mode = mode;
+  sim::Driver driver(setup.mesh(), hydro, arm.timers(), dopt, arm.units());
+  const auto t0 = std::chrono::steady_clock::now();
+  driver.evolve();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The bulk_sync/task_graph x 1/2/4-thread scan behind --json=PATH.
 int run_thread_scan(const std::string& path, int nsteps, int max_level,
                     int sample) {
   using namespace fhp;
-  const int thread_counts[3] = {1, 2, 4};
-  double wall[3] = {0, 0, 0};
-  std::uint64_t cycles[3] = {0, 0, 0};
-  std::uint64_t dtlb[3] = {0, 0, 0};
-  for (int t = 0; t < 3; ++t) {
-    par::set_threads(thread_counts[t]);
-    bench::ExperimentArm arm;
-    {
-      sim::SedovParams params;
-      params.max_level = max_level;
-      params.maxblocks = 700;
-      sim::SedovSetup setup(params, mem::HugePolicy::kNone);
-      hydro::HydroOptions hopt;
-      hopt.cfl = 0.6;
-      hydro::HydroSolver hydro(setup.mesh(), setup.eos(), hopt);
-      sim::DriverOptions dopt;
-      dopt.nsteps = nsteps;
-      dopt.trace_sample = sample;
-      dopt.verbose = false;
-      sim::Driver driver(setup.mesh(), hydro, arm.timers(), dopt,
-                         arm.units());
-      // Time only the evolution loop: mesh setup and the serial
-      // tracing/commit work would otherwise dilute the reported
-      // parallel-sweep speedup.
-      const auto t0 = std::chrono::steady_clock::now();
-      driver.evolve();
-      wall[t] = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              t0)
-                    .count();
-    }
-    const auto totals = arm.perf().snapshot();
-    cycles[t] = totals[perf::Event::kCycles];
-    dtlb[t] = totals[perf::Event::kDtlbMisses];
-    std::printf("# threads=%d wall=%.3f s cycles=%llu dtlb=%llu\n",
-                thread_counts[t], wall[t],
-                static_cast<unsigned long long>(cycles[t]),
-                static_cast<unsigned long long>(dtlb[t]));
-  }
-  const bool identical = cycles[0] == cycles[1] && cycles[1] == cycles[2] &&
-                         dtlb[0] == dtlb[1] && dtlb[1] == dtlb[2];
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"table2_hydro\",\n"
-               "  \"nsteps\": %d,\n"
-               "  \"max_level\": %d,\n"
-               "  \"wall_seconds\": {\"1\": %.6f, \"2\": %.6f, \"4\": %.6f},\n"
-               "  \"speedup_4_over_1\": %.3f,\n"
-               "  \"modeled_counters_identical\": %s\n"
-               "}\n",
-               nsteps, max_level, wall[0], wall[1], wall[2],
-               wall[2] > 0 ? wall[0] / wall[2] : 0.0,
-               identical ? "true" : "false");
-  std::fclose(f);
-  std::printf("# wrote %s (speedup 4/1 = %.2fx, counters identical: %s)\n",
-              path.c_str(), wall[2] > 0 ? wall[0] / wall[2] : 0.0,
-              identical ? "yes" : "NO");
-  return identical ? 0 : 1;
+  const std::vector<bench::ScanArm> arms = {
+      {"bulk_sync",
+       [&](bench::ExperimentArm& arm, int /*threads*/) {
+         return run_hydro_scan_arm(arm, sim::ExecMode::kBulkSync, nsteps,
+                                   max_level, sample);
+       }},
+      {"task_graph",
+       [&](bench::ExperimentArm& arm, int /*threads*/) {
+         return run_hydro_scan_arm(arm, sim::ExecMode::kTaskGraph, nsteps,
+                                   max_level, sample);
+       }},
+  };
+  return bench::run_thread_scan(path, "table2_hydro", arms,
+                                [&](bench::JsonWriter& w) {
+                                  w.field("nsteps", nsteps);
+                                  w.field("max_level", max_level);
+                                });
 }
 
 }  // namespace

@@ -11,16 +11,20 @@
 
 #pragma once
 
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "mem/hugeadm.hpp"
 #include "mem/huge_policy.hpp"
 #include "mem/meminfo.hpp"
 #include "mem/page_size.hpp"
+#include "par/parallel.hpp"
 #include "perf/events.hpp"
 #include "perf/perf_context.hpp"
 #include "perf/region.hpp"
@@ -150,5 +154,165 @@ inline constexpr double kPaperHydroWithout[6] = {1.21e12, 6.70e2, 0.11,
                                                  10.10,   2.42e6, 1203.616};
 inline constexpr double kPaperHydroWith[6] = {1.20e12, 6.69e2, 0.11,
                                               10.09,   7.83e5, 1176.312};
+
+// ------------------------------------------------------------- artifacts
+
+/// Ordered JSON emitter for the CI --json=PATH artifacts. All benches
+/// route their artifact through this one writer so the files keep one
+/// convention (two-space indent, doubles at six decimals) instead of
+/// each bench hand-rolling fprintf formats.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { item(); open('{'); }
+  void begin_object(const char* key) { item(key); open('{'); }
+  void begin_array(const char* key) { item(key); open('['); }
+  void end_object() { close('}'); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const std::string& v) {
+    item(key);
+    std::fprintf(f_, "\"%s\"", v.c_str());
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+  void field(const char* key, double v) {
+    item(key);
+    std::fprintf(f_, "%.6f", v);
+  }
+  void field(const char* key, bool v) {
+    item(key);
+    std::fprintf(f_, "%s", v ? "true" : "false");
+  }
+  void field(const char* key, int v) {
+    item(key);
+    std::fprintf(f_, "%d", v);
+  }
+  void field(const char* key, std::uint64_t v) {
+    item(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+
+ private:
+  void indent() const {
+    for (std::size_t d = 0; d < first_.size(); ++d) std::fputs("  ", f_);
+  }
+  /// Comma/newline/indent for a new item in the current container, then
+  /// the key (if any — array elements and the root have none).
+  void item(const char* key = nullptr) {
+    if (!first_.empty()) {
+      std::fputs(first_.back() ? "\n" : ",\n", f_);
+      first_.back() = false;
+      indent();
+    }
+    if (key != nullptr) std::fprintf(f_, "\"%s\": ", key);
+  }
+  void open(char c) {
+    std::fputc(c, f_);
+    first_.push_back(true);
+  }
+  void close(char c) {
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+      std::fputc('\n', f_);
+      indent();
+    }
+    std::fputc(c, f_);
+    if (first_.empty()) std::fputc('\n', f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;
+};
+
+// ------------------------------------------------------------ thread scan
+
+/// One named arm of a thread scan (e.g. "bulk_sync" vs "task_graph"):
+/// runs the workload once under the supplied instrumentation bundle at
+/// the already-configured thread count and returns the evolution wall
+/// time in seconds.
+struct ScanArm {
+  const char* name;
+  std::function<double(ExperimentArm& arm, int threads)> run;
+};
+
+/// Shared --json=PATH thread-scan entry. Runs every arm at 1, 2 and 4
+/// threads, asserts the modeled counters (everything except wall time)
+/// bit-identical across ALL runs — thread counts *and* arms, the
+/// determinism contract of both execution modes — and writes the
+/// artifact through JsonWriter. \p header emits bench-specific fields
+/// (nsteps, ...) into the top-level object. Returns 0 iff the counters
+/// were identical and the file was written.
+inline int run_thread_scan(const std::string& path, const char* bench,
+                           const std::vector<ScanArm>& arms,
+                           const std::function<void(JsonWriter&)>& header) {
+  constexpr int kThreads[3] = {1, 2, 4};
+  struct Run {
+    double wall = 0;
+    perf::CounterSet totals;
+  };
+  std::vector<std::array<Run, 3>> runs(arms.size());
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (int t = 0; t < 3; ++t) {
+      par::set_threads(kThreads[t]);
+      ExperimentArm arm;
+      runs[a][static_cast<std::size_t>(t)].wall =
+          arms[a].run(arm, kThreads[t]);
+      runs[a][static_cast<std::size_t>(t)].totals = arm.perf().snapshot();
+      const auto& r = runs[a][static_cast<std::size_t>(t)];
+      std::printf("# arm=%s threads=%d wall=%.3f s cycles=%llu dtlb=%llu\n",
+                  arms[a].name, kThreads[t], r.wall,
+                  static_cast<unsigned long long>(
+                      r.totals[perf::Event::kCycles]),
+                  static_cast<unsigned long long>(
+                      r.totals[perf::Event::kDtlbMisses]));
+    }
+  }
+  par::set_threads(1);
+
+  bool identical = true;
+  const perf::CounterSet& ref = runs[0][0].totals;
+  for (const auto& arm_runs : runs) {
+    for (const Run& r : arm_runs) {
+      for (std::size_t e = 0; e < perf::kNumEvents; ++e) {
+        if (e == static_cast<std::size_t>(perf::Event::kWallNanos)) continue;
+        identical = identical && r.totals.values[e] == ref.values[e];
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", bench);
+  header(w);
+  w.begin_array("arms");
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    w.begin_object();
+    w.field("name", arms[a].name);
+    w.begin_object("wall_seconds");
+    for (int t = 0; t < 3; ++t) {
+      w.field(std::to_string(kThreads[t]).c_str(),
+              runs[a][static_cast<std::size_t>(t)].wall);
+    }
+    w.end_object();
+    w.field("speedup_4_over_1",
+            runs[a][2].wall > 0 ? runs[a][0].wall / runs[a][2].wall : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("modeled_counters_identical", identical);
+  w.end_object();
+  std::fclose(f);
+  std::printf("# wrote %s (counters identical across %zu arms x 3 thread "
+              "counts: %s)\n",
+              path.c_str(), arms.size(), identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}
 
 }  // namespace fhp::bench

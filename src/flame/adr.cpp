@@ -29,20 +29,34 @@ AdrFlame::AdrFlame(mesh::AmrMesh& mesh, const FlameSpeedTable& speeds,
 
 void AdrFlame::advance(double dt) {
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
-  const auto lanes = static_cast<std::size_t>(par::threads());
+  begin_advance(leaves.size());
+  par::parallel_for(leaves.size(), [&](int lane, std::size_t n) {
+    RegionWitness witness;  // region lambda body: lane writer role
+    advance_block_task(n, leaves[n], dt, lane);
+  });
+  finish_advance();
+}
+
+void AdrFlame::begin_advance(std::size_t nleaves) {
   // Per-lane phi scratch, plus a per-block slot for the energy partial:
-  // the serial leaf-order sum below makes the total independent of the
-  // lane/timing in which blocks completed. Both buffers persist across
-  // timesteps; the scratch is rebuilt only when the lane count changes.
+  // the serial leaf-order sum in finish_advance makes the total
+  // independent of the lane/timing in which blocks completed. Both
+  // buffers persist across timesteps; the scratch is rebuilt only when
+  // the lane count changes.
+  const auto lanes = static_cast<std::size_t>(par::threads());
   if (lane_scratch_.size() != lanes) {
     lane_scratch_.assign(lanes, std::vector<double>(scratch_size_));
   }
-  block_energy_.assign(leaves.size(), 0.0);
-  par::parallel_for(leaves.size(), [&](int lane, std::size_t n) {
-    RegionWitness witness;  // region lambda body: lane writer role
-    block_energy_[n] = advance_block(leaves[n], dt,
-                                     lane_scratch_[static_cast<std::size_t>(lane)]);
-  });
+  block_energy_.assign(nleaves, 0.0);
+}
+
+void AdrFlame::advance_block_task(std::size_t leaf_index, int b, double dt,
+                                  int lane) {
+  block_energy_[leaf_index] =
+      advance_block(b, dt, lane_scratch_[static_cast<std::size_t>(lane)]);
+}
+
+void AdrFlame::finish_advance() {
   for (const double e : block_energy_) energy_released_ += e;
 }
 

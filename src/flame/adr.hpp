@@ -53,6 +53,26 @@ class AdrFlame {
   /// the released-energy total is identical for every thread count.
   void advance(double dt);
 
+  // --- task-graph entry points -------------------------------------------
+  // advance(dt) is begin_advance + a parallel loop over advance_block_task
+  // + finish_advance; the task-graph driver (sim::StepGraph) submits the
+  // per-block piece as task bodies instead, calling begin/finish on the
+  // driver thread around the graph run.
+
+  /// Size the per-lane scratch and zero the per-block energy partials for
+  /// \p nleaves leaf blocks. Driver-thread, setup-time (allocates only on
+  /// lane-count or leaf-count change).
+  void begin_advance(std::size_t nleaves);
+
+  /// ADR update of one leaf: \p leaf_index is the block's position in
+  /// leaves_morton() (selects its energy-partial slot), \p b the block id.
+  void advance_block_task(std::size_t leaf_index, int b, double dt, int lane)
+      FHP_REQUIRES_REGION;
+
+  /// Fold the per-block energy partials into energy_released(), serially
+  /// in leaf order — bit-identical for every lane count and steal order.
+  void finish_advance();
+
   /// Total nuclear energy released so far [erg].
   [[nodiscard]] double energy_released() const noexcept {
     return energy_released_;

@@ -85,6 +85,34 @@ HydroSolver::HydroSolver(mesh::AmrMesh& mesh, const eos::Eos& eos,
                      static_cast<std::size_t>(max_tan_));
 }
 
+HydroSolver::~HydroSolver() = default;
+
+void HydroSolver::ensure_lane_scratch() {
+  const int lanes = par::threads();
+  if (scratch_lanes_ == lanes) return;
+  const mesh::MeshConfig& c = mesh_.config();
+  lane_bufs_.clear();
+  lane_bufs_.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) lane_bufs_.emplace_back(c);
+  lane_rows_.assign(static_cast<std::size_t>(lanes),
+                    std::vector<eos::State>(static_cast<std::size_t>(c.nxb)));
+  lane_scalars_.assign(
+      static_cast<std::size_t>(lanes),
+      std::vector<double>(static_cast<std::size_t>(c.nscalars)));
+  scratch_lanes_ = lanes;
+}
+
+void HydroSolver::sweep_block_task(int axis, double dt, int b, int lane) {
+  FHP_TRACE_SPAN("hydro.sweep_block");
+  sweep_block(axis, dt, b, lane_bufs_[static_cast<std::size_t>(lane)]);
+}
+
+void HydroSolver::eos_update_block_task(int b, int lane) {
+  FHP_TRACE_SPAN("eos.block");
+  eos_update_block(b, lane_rows_[static_cast<std::size_t>(lane)],
+                   lane_scalars_[static_cast<std::size_t>(lane)]);
+}
+
 std::size_t HydroSolver::flux_slot(int block, int side) const noexcept {
   return (static_cast<std::size_t>(block) * 2 +
           static_cast<std::size_t>(side)) *
@@ -171,15 +199,12 @@ void HydroSolver::sweep(int axis, double dt) {
       "hydro.sweep_x", "hydro.sweep_y", "hydro.sweep_z"};
   trace::SpanScope sweep_span(kSweepSpanNames[axis]);
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
-  // One scratch set per lane; sweep_block touches only block b's storage
+  // Cached per-lane scratch; sweep_block touches only block b's storage
   // and b's own flux-register slots, so blocks are independent.
-  std::vector<PencilBuffers> bufs;
-  bufs.reserve(static_cast<std::size_t>(par::threads()));
-  for (int l = 0; l < par::threads(); ++l) bufs.emplace_back(mesh_.config());
+  ensure_lane_scratch();
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
     RegionWitness witness;  // region lambda body: lane writer role
-    FHP_TRACE_SPAN("hydro.sweep_block");
-    sweep_block(axis, dt, b, bufs[static_cast<std::size_t>(lane)]);
+    sweep_block_task(axis, dt, b, lane);
   });
   // Fine-coarse conservation reads fine-block registers written above and
   // touches coarse cells next to refinement boundaries: serial, after the
@@ -429,6 +454,54 @@ void HydroSolver::sweep_block(int axis, double dt, int b,
 }
 
 void HydroSolver::apply_flux_corrections(int axis, double dt) {
+  // Serial leaf-order loop; each per-block correction is independent
+  // (writes only b's cells, reads fine-block registers), so this order
+  // and any task-graph order produce bit-identical results.
+  for (int b : mesh_.tree().leaves_morton()) {
+    RegionWitness witness;  // serial driver thread: trivially exclusive
+    apply_flux_correction_block(axis, dt, b);
+  }
+}
+
+std::vector<int> HydroSolver::flux_sources(int axis, int b) const {
+  std::vector<int> sources;
+  if (!options_.flux_correct) return sources;
+  const mesh::MeshConfig& c = mesh_.config();
+  const mesh::BlockTree& tree = mesh_.tree();
+  const int n1 = axis == 0 ? c.nyb : c.nxb;
+  const int n2 = c.ndim >= 3 ? (axis == 2 ? c.nyb : c.nzb) : 1;
+  for (int side = 0; side < 2; ++side) {
+    std::array<int, 3> step{0, 0, 0};
+    step[static_cast<std::size_t>(axis)] = side == 0 ? -1 : 1;
+    const mesh::NeighborQuery q = tree.neighbor(b, step);
+    if (q.id < 0 || tree.info(q.id).is_leaf) continue;
+    const mesh::BlockInfo& nb = tree.info(q.id);
+    // Same child selection as apply_flux_correction_block's inner loop.
+    for (int u2 = 0; u2 < n2; ++u2) {
+      for (int u1 = 0; u1 < n1; ++u1) {
+        int cx = 0, cy = 0, cz = 0;
+        const int facing_bit = side == 0 ? 1 : 0;
+        const int half1 = (2 * u1) / n1;
+        const int half2 = n2 > 1 ? (2 * u2) / n2 : 0;
+        switch (axis) {
+          case 0: cx = facing_bit; cy = half1; cz = half2; break;
+          case 1: cy = facing_bit; cx = half1; cz = half2; break;
+          default: cz = facing_bit; cx = half1; cy = half2; break;
+        }
+        const int fine =
+            nb.children[static_cast<std::size_t>(cx + 2 * cy + 4 * cz)];
+        FHP_CHECK(fine >= 0, "missing fine child at fine-coarse face");
+        if (std::find(sources.begin(), sources.end(), fine) ==
+            sources.end()) {
+          sources.push_back(fine);
+        }
+      }
+    }
+  }
+  return sources;
+}
+
+void HydroSolver::apply_flux_correction_block(int axis, double dt, int b) {
   const mesh::MeshConfig& c = mesh_.config();
   mesh::UnkContainer& unk = mesh_.unk();
   const mesh::BlockTree& tree = mesh_.tree();
@@ -447,8 +520,7 @@ void HydroSolver::apply_flux_corrections(int axis, double dt) {
   const int n2 = c.ndim >= 3 ? (axis == 2 ? c.nyb : c.nzb) : 1;
   const int nedge = axis == 0 ? c.nxb : (axis == 1 ? c.nyb : c.nzb);
 
-  for (int b : tree.leaves_morton()) {
-    const mesh::BlockInfo& info = tree.info(b);
+  {
     for (int side = 0; side < 2; ++side) {
       std::array<int, 3> step{0, 0, 0};
       step[static_cast<std::size_t>(axis)] = side == 0 ? -1 : 1;
@@ -572,21 +644,13 @@ void HydroSolver::apply_flux_corrections(int axis, double dt) {
 
 void HydroSolver::eos_update() {
   FHP_TRACE_SPAN("eos.update");
-  const mesh::MeshConfig& c = mesh_.config();
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
-  // Per-lane row scratch; Eos::eval is const (pure per-zone), so the
-  // block pass is embarrassingly parallel.
-  std::vector<std::vector<eos::State>> rows(
-      static_cast<std::size_t>(par::threads()),
-      std::vector<eos::State>(static_cast<std::size_t>(c.nxb)));
-  std::vector<std::vector<double>> scalars(
-      static_cast<std::size_t>(par::threads()),
-      std::vector<double>(static_cast<std::size_t>(c.nscalars)));
+  // Cached per-lane row scratch; Eos::eval is const (pure per-zone), so
+  // the block pass is embarrassingly parallel.
+  ensure_lane_scratch();
   par::parallel_for_blocks(leaves, [&](int lane, int b) {
     RegionWitness witness;  // region lambda body: lane writer role
-    FHP_TRACE_SPAN("eos.block");
-    eos_update_block(b, rows[static_cast<std::size_t>(lane)],
-                     scalars[static_cast<std::size_t>(lane)]);
+    eos_update_block_task(b, lane);
   });
 }
 

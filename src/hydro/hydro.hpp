@@ -47,6 +47,7 @@ class HydroSolver {
  public:
   HydroSolver(mesh::AmrMesh& mesh, const eos::Eos& eos,
               HydroOptions options = {});
+  ~HydroSolver();  // out of line: PencilBuffers is incomplete here
 
   /// CFL-limited time step over all leaves (uses current unk data).
   [[nodiscard]] double compute_dt() const;
@@ -67,6 +68,48 @@ class HydroSolver {
   /// MODE_DENS_EI). Runs block-parallel over `par::threads()` lanes.
   void eos_update();
 
+  // --- task-graph entry points -------------------------------------------
+  // The bulk-sync methods above are loops over these per-block kernels;
+  // the task-graph driver (sim::StepGraph) submits them as task bodies
+  // with guard/sweep/flux dependency edges instead. Determinism: each
+  // kernel writes only block b's storage (and b's own flux-register
+  // slots), so execution order between distinct blocks cannot change
+  // results bit for bit.
+
+  /// Size per-lane scratch (pencil buffers, EOS rows) for the current
+  /// `par::threads()`. Driver-thread, setup-time: allocates on lane-count
+  /// change, no-op otherwise. The bulk paths call it on entry; the
+  /// task-graph driver calls it before running a step graph.
+  void ensure_lane_scratch();
+
+  /// One block's directional sweep using lane \p lane's cached scratch.
+  void sweep_block_task(int axis, double dt, int b, int lane)
+      FHP_REQUIRES_REGION;
+
+  /// One block's Eos_wrapped pass using lane \p lane's cached scratch.
+  void eos_update_block_task(int b, int lane) FHP_REQUIRES_REGION;
+
+  /// Fine-coarse flux correction of one coarse leaf \p b (no-op unless b
+  /// abuts finer blocks along \p axis). Writes only b's face-adjacent
+  /// cells; reads the flux registers of the fine blocks reported by
+  /// flux_sources(axis, b) — the task-graph dependency set.
+  void apply_flux_correction_block(int axis, double dt, int b)
+      FHP_REQUIRES_REGION;
+
+  /// The fine blocks whose flux registers apply_flux_correction_block
+  /// (axis, b) reads. Empty when b needs no correction along \p axis
+  /// (then the task-graph driver submits no flux task for b). Setup-time
+  /// query: allocates.
+  [[nodiscard]] std::vector<int> flux_sources(int axis, int b) const;
+
+  /// Strang sweep-order parity of the *next* step (true: 0..ndim-1).
+  [[nodiscard]] bool forward_order() const noexcept {
+    return (step_count_ % 2) == 0;
+  }
+  /// Record one completed step for the Strang alternation — the task-mode
+  /// driver calls this after running a step graph (step() does its own).
+  void advance_step_count() noexcept { ++step_count_; }
+
   void set_composition_fn(CompositionFn fn) { composition_ = std::move(fn); }
 
   [[nodiscard]] const HydroOptions& options() const noexcept {
@@ -86,6 +129,7 @@ class HydroSolver {
   /// writes only block-/lane-private data), hence FHP_REQUIRES_REGION.
   void sweep_block(int axis, double dt, int b, PencilBuffers& buf)
       FHP_REQUIRES_REGION;
+  /// Serial leaf-order loop over apply_flux_correction_block (bulk path).
   void apply_flux_corrections(int axis, double dt);
 
   /// CFL-limited dt of one leaf block (exact, order-independent min).
@@ -113,6 +157,14 @@ class HydroSolver {
   int step_count_ = 0;
   int max_tan_ = 0;                ///< max tangential cells per face
   std::vector<double> flux_store_; ///< [block][side][v][t2][t1]
+
+  // Per-lane scratch, cached across steps (rebuilt by ensure_lane_scratch
+  // only when par::threads() changes) so sweep/EOS task bodies stay
+  // allocation-free on the hot path.
+  int scratch_lanes_ = 0;
+  std::vector<PencilBuffers> lane_bufs_;
+  std::vector<std::vector<eos::State>> lane_rows_;
+  std::vector<std::vector<double>> lane_scalars_;
 };
 
 }  // namespace fhp::hydro

@@ -66,6 +66,27 @@ class AmrMesh {
   /// `par::threads()` lanes.
   void fill_guardcells();
 
+  /// Fill every guard zone of one block (same-level copies, coarse
+  /// interpolation, physical BCs). Writes only \p b's guards and reads
+  /// only the blocks reported by guard_sources(b): same-level neighbor
+  /// *interiors* and coarse-block interiors *plus guards*. Runs as a
+  /// region-lambda / task body on a pool lane, hence FHP_REQUIRES_REGION.
+  /// The bulk fill_guardcells() path calls it level by level; the
+  /// task-graph driver submits it per block with guard_sources-derived
+  /// dependency edges instead.
+  void fill_block_guards(int b) FHP_REQUIRES_REGION;
+
+  /// The blocks whose data fill_block_guards(b) reads — the task-graph
+  /// driver's dependency query. Setup-time (allocates; walks the same
+  /// directions and per-cell coarse lookups as the fill itself, so the
+  /// edge set is exact, including diagonal coarse covers and periodic
+  /// wraps). \p b itself never appears in either list.
+  struct GuardSources {
+    std::vector<int> same_level;  ///< interiors read by same-level copies
+    std::vector<int> coarse;      ///< interior+guards read by interpolation
+  };
+  [[nodiscard]] GuardSources guard_sources(int b) const;
+
   /// Restrict leaf data into all ancestors (volume-weighted).
   void restrict_all();
 
@@ -110,12 +131,6 @@ class AmrMesh {
   [[nodiscard]] double integrate_product(int v1, int v2) const;
 
  private:
-  /// Fill every guard zone of one block (same-level copies, coarse
-  /// interpolation, physical BCs). Writes only \p b's guards and reads
-  /// only neighbor interiors / coarser levels, so blocks of one level
-  /// can run on different lanes concurrently — a region-lambda body,
-  /// hence FHP_REQUIRES_REGION.
-  void fill_block_guards(int b) FHP_REQUIRES_REGION;
   /// Fill the guards of one block in one direction from a same-level
   /// source block (handles periodic shifts implicitly via index copy).
   void copy_same_level(int dst, int src, const std::array<int, 3>& step);

@@ -251,4 +251,22 @@ void parallel_for_blocks(std::span<const int> blocks,
   });
 }
 
+namespace detail {
+
+void run_region(const std::function<void(int lane)>& body) {
+  const int lanes = resolved_threads();
+  ThreadPool* pool = pool_for(lanes);
+  if (pool == nullptr) {
+    body(0);
+    return;
+  }
+  RegionGuard guard;
+  // With n == lanes the static chunk of lane l is exactly {l}, so the
+  // pool's run() degenerates to "each lane executes the body once".
+  pool->run(static_cast<std::size_t>(lanes),
+            [&body](int lane, std::size_t /*i*/) { body(lane); });
+}
+
+}  // namespace detail
+
 }  // namespace fhp::par

@@ -4,13 +4,23 @@
 /// The paper's workloads are leaf-block sweeps over `unk` in which each
 /// block touches only its own storage (interior plus pre-filled guard
 /// cells), so the natural unit of parallelism is the block. This module
-/// provides a small persistent worker pool with *static chunking*: lane
-/// `i` of `L` processes the contiguous index range
-/// `[i*n/L, (i+1)*n/L)`. Static chunking is deliberate — the partition
-/// depends only on `(n, L)`, never on timing, which is one half of the
-/// bit-identical-across-thread-counts guarantee (the other half is that
-/// parallelized loops write only per-block data; see DESIGN.md
-/// "Threading model").
+/// provides a small persistent worker pool with two execution models on
+/// top of it:
+///
+///   - `parallel_for` / `parallel_for_blocks`: one barrier-synchronized
+///     stage with *static chunking* — lane `i` of `L` processes the
+///     contiguous index range `[i*n/L, (i+1)*n/L)`. Static chunking is
+///     deliberate: the partition depends only on `(n, L)`, never on
+///     timing, which is one half of the bit-identical-across-thread-counts
+///     guarantee (the other half is that parallelized loops write only
+///     per-block data; see DESIGN.md "Threading model"). These survive as
+///     thin shims over the degenerate single-stage dependency graph —
+///     every task ready at entry, no steals possible between chunks — so
+///     existing call sites keep their exact lane-to-index map.
+///   - `par::TaskGraph` (task_graph.hpp): per-block tasks with explicit
+///     dependencies, executed by the same lanes with work-stealing
+///     deques. This is what the fused driver timestep uses to overlap
+///     guard-fill, sweeps, flux fixups and EOS updates.
 ///
 /// Thread count resolution order (highest wins):
 ///   1. `set_threads()` / the `par.threads` runtime parameter,
@@ -99,5 +109,19 @@ void parallel_for(std::size_t n,
 void parallel_for_blocks(std::span<const int> blocks,
                          const std::function<void(int lane, int block)>& fn)
     FHP_EXCLUDES_REGION;
+
+namespace detail {
+
+/// Runs `body(lane)` exactly once on every lane (0..threads()-1)
+/// concurrently, inside one pooled parallel region. This is the substrate
+/// both execution models share: `parallel_for` hands each lane its static
+/// chunk, and `TaskGraph::run` hands each lane its scheduler loop. At
+/// `threads() == 1` the body runs once, serially, on the caller — no pool,
+/// no locks. The first exception thrown by any lane is rethrown on the
+/// caller after every lane has stopped (same contract as parallel_for).
+void run_region(const std::function<void(int lane)>& body)
+    FHP_EXCLUDES_REGION;
+
+}  // namespace detail
 
 }  // namespace fhp::par

@@ -25,9 +25,10 @@
 /// writes to the caller's reads, so this is data-race-free without
 /// atomics (the `tsan` preset enforces it).
 ///
-/// The old singletons survive as deprecated compat shims forwarding to
-/// `PerfContext::global()` (see soft_counters.hpp); they will be removed
-/// one release after this one. New code must take a PerfContext.
+/// The old SoftCounters / RegionRegistry::instance() singletons survived
+/// one release as deprecated compat shims forwarding to
+/// `PerfContext::global()`; they are now removed. Code takes a
+/// PerfContext (or reaches the shared one via `PerfContext::global()`).
 
 #pragma once
 

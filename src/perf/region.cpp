@@ -32,11 +32,6 @@ void set_hardware_capture(bool enabled) {
 
 bool hardware_capture_active() { return g_hw_capture; }
 
-// Deprecated compat shim; see region.hpp.
-RegionRegistry& RegionRegistry::instance() {
-  return PerfContext::global().regions();
-}
-
 void RegionRegistry::accumulate(std::string_view name, const CounterSet& delta,
                                 const CounterSet* hw_delta) {
   fhp::MutexLock lock(mutex_);
@@ -80,10 +75,6 @@ PerfRegion::PerfRegion(PerfContext& context, std::string_view name)
     t_hw_starts.emplace_back(this, hw_backend()->read());
   }
 }
-
-// Deprecated compat shim; see region.hpp.
-PerfRegion::PerfRegion(std::string_view name)
-    : PerfRegion(PerfContext::global(), name) {}
 
 void PerfRegion::stop() {
   if (!active_) return;

@@ -47,10 +47,6 @@ class RegionRegistry {
  public:
   RegionRegistry() = default;
 
-  /// Deprecated compat shim: the global context's registry. Kept for one
-  /// release; new code should reach the registry through a PerfContext.
-  static RegionRegistry& instance();
-
   /// Merge a delta into \p name.
   void accumulate(std::string_view name, const CounterSet& delta,
                   const CounterSet* hw_delta) FHP_EXCLUDES(mutex_);
@@ -81,9 +77,6 @@ class PerfRegion {
   /// comment) — FHP_EXCLUDES_REGION enforces it statically.
   PerfRegion(PerfContext& context, std::string_view name)
       FHP_EXCLUDES_REGION;
-
-  /// Deprecated compat shim: counts against `PerfContext::global()`.
-  explicit PerfRegion(std::string_view name) FHP_EXCLUDES_REGION;
 
   ~PerfRegion();
   PerfRegion(const PerfRegion&) = delete;

@@ -22,6 +22,10 @@ Driver::Driver(mesh::AmrMesh& mesh, hydro::HydroSolver& hydro,
   if (options_.refine_vars.empty()) {
     options_.refine_vars = {mesh::var::kDens, mesh::var::kPres};
   }
+  if (options_.exec_mode == ExecMode::kTaskGraph) {
+    step_graph_ = std::make_unique<StepGraph>(mesh_, hydro_, units_.flame);
+    step_graph_->rebuild();
+  }
 }
 
 // Tracing replays sampled blocks into the (stateful, warm) machine model
@@ -99,18 +103,26 @@ void Driver::evolve() {
     }
     if (time_ + dt_ > options_.tmax) dt_ = options_.tmax - time_;
 
-    {
-      perf::Timers::Scope t(timers_, "hydro");
-      FHP_TRACE_SPAN("driver.hydro");
-      hydro_.step(dt_);
-    }
+    if (step_graph_ != nullptr) {
+      // Fused step: every sweep plus the flame stage as one block-task
+      // DAG — no barriers between guard fill, sweep, flux fixup and EOS.
+      perf::Timers::Scope t(timers_, "step_graph");
+      FHP_TRACE_SPAN("driver.step_graph");
+      step_graph_->run_step(dt_);
+    } else {
+      {
+        perf::Timers::Scope t(timers_, "hydro");
+        FHP_TRACE_SPAN("driver.hydro");
+        hydro_.step(dt_);
+      }
 
-    if (units_.flame != nullptr) {
-      perf::Timers::Scope t(timers_, "flame");
-      FHP_TRACE_SPAN("driver.flame");
-      mesh_.fill_guardcells();
-      units_.flame->advance(dt_);
-      hydro_.eos_update();
+      if (units_.flame != nullptr) {
+        perf::Timers::Scope t(timers_, "flame");
+        FHP_TRACE_SPAN("driver.flame");
+        mesh_.fill_guardcells();
+        units_.flame->advance(dt_);
+        hydro_.eos_update();
+      }
     }
 
     if (units_.gravity != nullptr) {
@@ -132,9 +144,17 @@ void Driver::evolve() {
 
     // Step boundary: lanes are quiescent, so this is the legal moment to
     // snapshot the counter shards for asynchronous observers (the
-    // sampler thread only ever reads this published copy) and to stamp
-    // the step mark onto the timeline.
+    // sampler thread only ever reads this published copy), accumulate
+    // the scheduler statistics (kept out of the counters — they are
+    // timing-dependent) and stamp the step mark onto the timeline.
     perf_.publish();
+    if (step_graph_ != nullptr) {
+      const par::TaskGraph::Stats s = step_graph_->last_stats();
+      sched_stats_.executed += s.executed;
+      sched_stats_.steals += s.steals;
+      sched_stats_.steal_attempts += s.steal_attempts;
+      sched_stats_.yields += s.yields;
+    }
     trace::step_mark(step_, time_, dt_);
 
     if (options_.remesh_interval > 0 &&
@@ -144,6 +164,12 @@ void Driver::evolve() {
       const int changes = mesh_.remesh(options_.refine_vars,
                                        options_.refine_cut,
                                        options_.derefine_cut);
+      if (changes > 0 && step_graph_ != nullptr) {
+        // The block tree changed: the task graphs' block ids, guard
+        // dependencies and flux sources are stale. Rebuild (setup-time
+        // allocation, amortized over remesh_interval steps).
+        step_graph_->rebuild();
+      }
       if (options_.verbose && changes > 0) {
         FHP_LOG(kDebug) << "step " << step_ << ": remesh changed " << changes
                         << " blocks (" << mesh_.tree().num_allocated()

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -21,7 +22,9 @@
 #include "gravity/monopole.hpp"
 #include "hydro/hydro.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "par/task_graph.hpp"
 #include "perf/timers.hpp"
+#include "sim/step_graph.hpp"
 #include "tlb/machine.hpp"
 
 namespace fhp::perf {
@@ -29,6 +32,16 @@ class PerfContext;  // perf/perf_context.hpp — non-owning pointer only
 }
 
 namespace fhp::sim {
+
+/// How the driver executes the per-step physics (sweeps + flame).
+/// Physics and published counters are bit-identical between the two —
+/// the task graph reproduces the bulk data flow through dependency
+/// edges, and modeled counters come from the serial trace pass either
+/// way; only wall-clock (phase overlap) differs.
+enum class ExecMode {
+  kBulkSync,   ///< barrier-synchronized parallel_for loops (classic)
+  kTaskGraph,  ///< block-task DAG with work stealing (sim::StepGraph)
+};
 
 /// Driver controls (FLASH's flash.par driver section).
 struct DriverOptions {
@@ -40,6 +53,7 @@ struct DriverOptions {
   std::vector<int> refine_vars;   ///< variables driving refinement
   int trace_sample = 4;           ///< replay every Nth leaf block (0 = off)
   bool verbose = true;            ///< log step lines
+  ExecMode exec_mode = ExecMode::kBulkSync;  ///< step execution model
 };
 
 /// Per-block EOS trace hook: replay the memory behaviour of one
@@ -80,6 +94,13 @@ class Driver {
   [[nodiscard]] int steps() const noexcept { return step_; }
   [[nodiscard]] double last_dt() const noexcept { return dt_; }
 
+  /// Accumulated task-graph scheduler statistics (executed/steals/yields
+  /// summed over all steps so far). Zeros under kBulkSync. Snapshotted at
+  /// step boundaries; timing-dependent, hence never PerfContext counters.
+  [[nodiscard]] par::TaskGraph::Stats scheduler_stats() const noexcept {
+    return sched_stats_;
+  }
+
  private:
   void trace_regions();
 
@@ -89,6 +110,8 @@ class Driver {
   DriverOptions options_;
   DriverUnits units_;
   perf::PerfContext& perf_;
+  std::unique_ptr<StepGraph> step_graph_;  ///< non-null under kTaskGraph
+  par::TaskGraph::Stats sched_stats_;
 
   double time_ = 0.0;
   double dt_ = 0.0;

@@ -2,7 +2,7 @@
 
 namespace fhp::detail {
 
-thread_local int t_lane = 0;
+thread_local constinit int t_lane = 0;
 
 void bind_lane(int lane) noexcept { t_lane = lane; }
 

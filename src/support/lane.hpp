@@ -48,8 +48,12 @@ inline constexpr int kMaxLanes = 64;
 
 namespace detail {
 /// Lane of the executing thread. Pool workers overwrite this once at
-/// startup; every other thread keeps the default of 0.
-extern thread_local int t_lane;
+/// startup; every other thread keeps the default of 0. `constinit` is
+/// load-bearing: it lets every TU access the TLS slot directly instead of
+/// going through the Itanium-ABI thread wrapper for possibly-dynamically-
+/// initialized externs (whose weak `_ZTH` dance UBSan flags as a null
+/// load when the wrapper is elided across TUs).
+extern thread_local constinit int t_lane;
 
 /// Bind the calling thread to \p lane for its lifetime (pool workers
 /// only; the driver thread stays lane 0).

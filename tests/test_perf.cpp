@@ -12,7 +12,6 @@
 #include "perf/perf_event_backend.hpp"
 #include "perf/region.hpp"
 #include "perf/report.hpp"
-#include "perf/soft_counters.hpp"
 #include "perf/timers.hpp"
 #include "support/error.hpp"
 
@@ -188,24 +187,6 @@ TEST_F(PerfTest, RegistryNamesSorted) {
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "alpha");
   EXPECT_EQ(names[1], "zeta");
-}
-
-// ------------------------------------------------- deprecated compat shims
-
-TEST(CompatShims, SoftCountersForwardsToGlobalContext) {
-  PerfContext::global().reset();
-  SoftCounters::instance().add(Event::kCycles, 9);
-  EXPECT_EQ(PerfContext::global().snapshot()[Event::kCycles], 9u);
-  EXPECT_EQ(SoftCounters::instance().snapshot()[Event::kCycles], 9u);
-  PerfContext::global().reset();
-}
-
-TEST(CompatShims, RegionRegistryInstanceIsGlobalContexts) {
-  PerfContext::global().reset_all();
-  { PerfRegion region("shim-region"); }  // single-arg ctor → global context
-  EXPECT_EQ(RegionRegistry::instance().get("shim-region").entries, 1u);
-  EXPECT_EQ(PerfContext::global().regions().get("shim-region").entries, 1u);
-  PerfContext::global().reset_all();
 }
 
 // --------------------------------------------------------------- hw backend

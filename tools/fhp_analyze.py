@@ -25,7 +25,8 @@ tree that only emerge from whole-file or whole-graph views:
                     hydro back.
 
   alloc-in-region   lexically inside the lambda passed to
-                    par::parallel_for / parallel_for_blocks, no dynamic
+                    par::parallel_for / parallel_for_blocks, or the task
+                    body submitted via TaskGraph::add_task, no dynamic
                     allocation: no `new`, no malloc/calloc/realloc, no
                     growing-container calls (push_back, emplace_back,
                     emplace, resize, reserve, insert, assign, append), no
@@ -111,7 +112,7 @@ RULES = {
         "cycle in the module-granularity include graph",
     "alloc-in-region":
         "dynamic allocation inside a parallel_for/parallel_for_blocks "
-        "lambda",
+        "lambda or a TaskGraph add_task body",
     "alloc-in-noalloc":
         "dynamic allocation in the inline body of an FHP_NO_ALLOC "
         "function",
@@ -123,7 +124,8 @@ QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 ALLOW_RE = re.compile(
     r"fhp-analyze:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)(\s*--\s*\S.*)?")
 PARALLEL_CALL_RE = re.compile(
-    r"(?<![\w:])(?:par\s*::\s*)?(parallel_for_blocks|parallel_for)\s*\(")
+    r"(?<![\w:])(?:par\s*::\s*)?(parallel_for_blocks|parallel_for|add_task)"
+    r"\s*\(")
 NO_ALLOC_RE = re.compile(r"\bFHP_NO_ALLOC\b")
 DEFINE_NO_ALLOC_RE = re.compile(r"#\s*define\s+FHP_NO_ALLOC\b")
 
@@ -293,7 +295,9 @@ class Analyzer:
             self._scan_alloc_tokens(
                 path, stripped, brace, body_end, "alloc-in-region",
                 f"inside a {m.group(1)} lambda — allocate per-lane "
-                f"scratch before entering the region", line_of, allowed)
+                f"scratch before entering the region (task bodies run "
+                f"on work-stealing lanes: allocate at graph "
+                f"construction, not in run())", line_of, allowed)
 
         # -- alloc-in-noalloc -----------------------------------------
         for m in NO_ALLOC_RE.finditer(stripped):
@@ -473,6 +477,30 @@ SELF_TEST_FILES: dict[str, tuple[str, dict[str, int]]] = {
         '  });\n'
         '}\n',
         {"alloc-in-region": 2},
+    ),
+    # Allocation inside a TaskGraph task body: task bodies run on
+    # work-stealing lanes, same discipline as region lambdas. One
+    # emplace_back, one make_unique; the surrounding add_task/add_edge
+    # construction code may allocate freely.
+    "src/sim/bad_task_alloc.cpp": (
+        'void build(par::TaskGraph& g, int nleaves) {\n'
+        '  scratch_.reserve(nleaves);\n'
+        '  g.add_task("task.sweep", [&](int lane) {\n'
+        '    results_.emplace_back(lane);\n'
+        '    auto row = std::make_unique<double[]>(8);\n'
+        '  });\n'
+        '}\n',
+        {"alloc-in-region": 2},
+    ),
+    # A task body writing into pre-sized per-lane scratch is the
+    # sanctioned pattern and must stay clean.
+    "src/sim/clean_task.cpp": (
+        'void build(par::TaskGraph& g, int b) {\n'
+        '  g.add_task("task.eos", [this, b](int lane) {\n'
+        '    lane_rows_[lane][0] = solve(b);\n'
+        '  });\n'
+        '}\n',
+        {},
     ),
     # Pre-region allocation + in-region writes into scratch is the
     # sanctioned pattern and must stay clean.
