@@ -7,6 +7,10 @@
 ///
 ///   hugectl status            show THP mode, pools, meminfo fields
 ///   hugectl pool <n>          resize the 2 MiB pool to n pages (root)
+///   hugectl pool-status       init the process PagePool from the
+///                             environment (FLASHHP_PAGE_POOL /
+///                             FLASHHP_PLACEMENT) and print its per-node
+///                             inventory and degradation counters
 ///   hugectl probe <policy>    map+prefault 64 MiB under none|thp|hugetlbfs
 ///                             and report what the kernel actually granted
 
@@ -17,6 +21,7 @@
 #include "mem/hugeadm.hpp"
 #include "mem/mapped_region.hpp"
 #include "mem/meminfo.hpp"
+#include "mem/page_pool.hpp"
 #include "mem/page_size.hpp"
 #include "mem/thp.hpp"
 #include "mem/vmstat.hpp"
@@ -66,6 +71,15 @@ int cmd_pool(const std::string& count_text) {
   return 0;
 }
 
+int cmd_pool_status() {
+  mem::PagePool& pool = mem::global_page_pool();
+  if (pool.status().state == "idle") {
+    pool.init(mem::config_from_environment());
+  }
+  std::fputs(pool.status_text().c_str(), stdout);
+  return 0;
+}
+
 int cmd_probe(const std::string& policy_text) {
   const auto policy = mem::parse_huge_policy(policy_text);
   if (!policy) {
@@ -110,9 +124,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argc >= 2 ? argv[1] : "status";
   if (cmd == "status") return cmd_status();
   if (cmd == "pool" && argc >= 3) return cmd_pool(argv[2]);
+  if (cmd == "pool-status") return cmd_pool_status();
   if (cmd == "probe" && argc >= 3) return cmd_probe(argv[2]);
   std::fprintf(stderr,
-               "usage: hugectl [status | pool <npages> | probe "
-               "<none|thp|hugetlbfs>]\n");
+               "usage: hugectl [status | pool <npages> | pool-status | "
+               "probe <none|thp|hugetlbfs>]\n");
   return 2;
 }

@@ -40,10 +40,12 @@ int main(int argc, char** argv) {
   rp.declare_string("policy", "none", "huge-page policy (none|thp|hugetlbfs)");
   rp.declare_string("outfile", "sedov_profile.csv", "profile output path");
   rp.declare_bool("trace", false, "feed the machine model and print a report");
+  mem::declare_runtime_params(rp);
   par::declare_runtime_params(rp);
   mesh::declare_runtime_params(rp);
   obs::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  mem::apply_runtime_params(rp);
   par::apply_runtime_params(rp);
   mesh::apply_runtime_params(rp);
 

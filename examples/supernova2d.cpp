@@ -30,9 +30,11 @@ int main(int argc, char** argv) {
   rp.declare_string("policy", "none", "huge-page policy (none|thp|hugetlbfs)");
   rp.declare_real("rho_c", 2.0e9, "central density [g/cc]");
   rp.declare_string("outfile", "wd_profile.csv", "profile output path");
+  mem::declare_runtime_params(rp);
   par::declare_runtime_params(rp);
   mesh::declare_runtime_params(rp);
   rp.apply_command_line(argc, argv);
+  mem::apply_runtime_params(rp);
   par::apply_runtime_params(rp);
   mesh::apply_runtime_params(rp);
 

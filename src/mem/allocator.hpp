@@ -20,6 +20,7 @@
 #include <type_traits>
 
 #include "mem/arena.hpp"
+#include "mem/page_pool.hpp"
 #include "support/error.hpp"
 
 namespace fhp::mem {
@@ -63,25 +64,24 @@ class HugeAllocator {
   Arena* arena_;
 };
 
-/// A fixed-size typed buffer living directly on its own MappedRegion —
-/// used for the really big arrays (unk, the EOS table) where we want to
-/// know, per buffer, exactly what page regime backs it.
+/// A fixed-size typed buffer carved from a PagePool as a single
+/// allocation — used for the really big arrays (unk, the EOS table) where
+/// we want to know, per buffer, exactly what page regime backs it and
+/// what the pool decided about its placement.
 template <typename T>
 class HugeBuffer {
  public:
   HugeBuffer() = default;
 
-  /// Allocate room for \p count elements under \p policy (value-initialized).
-  HugeBuffer(std::size_t count, HugePolicy policy)
-      : region_([&] {
+  /// Allocate room for \p count elements under \p policy (value-initialized)
+  /// from \p pool (default: the process-wide pool).
+  HugeBuffer(std::size_t count, HugePolicy policy,
+             PagePool& pool = global_page_pool())
+      : alloc_([&] {
           FHP_REQUIRE(
               count <= std::numeric_limits<std::size_t>::max() / sizeof(T),
               "HugeBuffer byte count overflows size_t");
-          MapRequest req;
-          req.bytes = count * sizeof(T);
-          req.policy = policy;
-          req.prefault = true;
-          return MappedRegion(req);
+          return pool.alloc(count * sizeof(T), policy);
         }()),
         count_(count) {
     static_assert(std::is_trivially_destructible_v<T>,
@@ -89,9 +89,9 @@ class HugeBuffer {
     // mmap memory is zero-filled; for trivial T that is value-initialized.
   }
 
-  [[nodiscard]] T* data() noexcept { return static_cast<T*>(region_.data()); }
+  [[nodiscard]] T* data() noexcept { return static_cast<T*>(alloc_.data()); }
   [[nodiscard]] const T* data() const noexcept {
-    return static_cast<const T*>(region_.data());
+    return static_cast<const T*>(alloc_.data());
   }
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
@@ -105,10 +105,17 @@ class HugeBuffer {
   }
 
   /// The region backing this buffer (for verification/reporting).
-  [[nodiscard]] const MappedRegion& region() const noexcept { return region_; }
+  [[nodiscard]] const MappedRegion& region() const noexcept {
+    return alloc_.region();
+  }
+
+  /// The pool allocation (region + placement decision) backing the buffer.
+  [[nodiscard]] const PoolAllocation& allocation() const noexcept {
+    return alloc_;
+  }
 
  private:
-  MappedRegion region_;
+  PoolAllocation alloc_;
   std::size_t count_ = 0;
 };
 

@@ -10,28 +10,27 @@
 
 namespace fhp::mem {
 
-Arena::Arena(HugePolicy policy, std::size_t chunk_bytes)
-    : policy_(policy), chunk_bytes_(chunk_bytes) {
+Arena::Arena(HugePolicy policy, std::size_t chunk_bytes, PagePool* pool)
+    : policy_(policy), chunk_bytes_(chunk_bytes), pool_(pool) {
   FHP_PRECONDITION(chunk_bytes_ >= kPage2M,
                    "arena chunk size must be at least one huge page (2 MiB)");
 }
 
 void Arena::add_chunk(std::size_t min_bytes) {
-  MapRequest req;
-  req.bytes = std::max(min_bytes, chunk_bytes_);
-  req.policy = policy_;
-  req.prefault = true;
-  MappedRegion region(req);
-  switch (region.backing()) {
+  PagePool& pool = pool_ != nullptr ? *pool_ : global_page_pool();
+  PoolAllocation chunk =
+      pool.alloc(std::max(min_bytes, chunk_bytes_), policy_);
+  switch (chunk.backing()) {
     case Backing::kHugetlbfs: ++stats_.hugetlb_chunks; break;
     case Backing::kThp: ++stats_.thp_chunks; break;
     case Backing::kSmallPages: ++stats_.small_chunks; break;
   }
-  stats_.bytes_reserved += region.size();
+  if (chunk.decision().remote) ++stats_.remote_chunks;
+  stats_.bytes_reserved += chunk.size();
   ++stats_.chunk_count;
-  cursor_ = static_cast<std::byte*>(region.data());
-  chunk_end_ = cursor_ + region.size();
-  chunks_.push_back(std::move(region));
+  cursor_ = static_cast<std::byte*>(chunk.data());
+  chunk_end_ = cursor_ + chunk.size();
+  chunks_.push_back(std::move(chunk));
 }
 
 void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
@@ -74,7 +73,9 @@ ArenaStats Arena::stats() const {
 std::uint64_t Arena::resident_huge_bytes() const {
   MutexLock lock(mutex_);
   std::uint64_t total = 0;
-  for (const auto& chunk : chunks_) total += chunk.resident_huge_bytes();
+  for (const auto& chunk : chunks_) {
+    total += chunk.region().resident_huge_bytes();
+  }
   return total;
 }
 
@@ -86,8 +87,13 @@ std::string Arena::report() const {
      << format_bytes(stats_.bytes_requested) << " allocated in "
      << stats_.allocation_count << " allocation(s)\n";
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
-    os << "  chunk " << i << ": " << chunks_[i].describe() << ", huge-resident "
-       << format_bytes(chunks_[i].resident_huge_bytes()) << '\n';
+    const auto& region = chunks_[i].region();
+    const auto& decision = chunks_[i].decision();
+    os << "  chunk " << i << ": " << region.describe() << ", huge-resident "
+       << format_bytes(region.resident_huge_bytes()) << ", pool decision "
+       << decision.reason;
+    if (decision.node >= 0) os << " node" << decision.node;
+    os << '\n';
   }
   return os.str();
 }

@@ -3,10 +3,11 @@
 ///
 /// FLASH's mesh data (`unk` and friends) is allocated once at startup and
 /// lives for the whole run — a monotonic arena is the right shape. The
-/// arena grows in large chunks (default 64 MiB) obtained through
-/// MappedRegion under the arena's HugePolicy, so one policy switch moves
-/// every simulation array between page regimes, exactly like the Fujitsu
-/// runtime does for FLASH.
+/// arena grows in large chunks (default 64 MiB) carved from a PagePool
+/// under the arena's HugePolicy, so one policy switch moves every
+/// simulation array between page regimes, exactly like the Fujitsu
+/// runtime does for FLASH — and the pool's placement policy and
+/// degradation accounting apply to every chunk.
 ///
 /// Thread-safety: allocation takes an internal mutex (cheap; the hot paths
 /// of the simulation never allocate).
@@ -21,6 +22,7 @@
 
 #include "mem/huge_policy.hpp"
 #include "mem/mapped_region.hpp"
+#include "mem/page_pool.hpp"
 #include "support/contracts.hpp"
 #include "support/mutex.hpp"
 #include "support/thread_annotations.hpp"
@@ -36,6 +38,7 @@ struct ArenaStats {
   std::size_t hugetlb_chunks = 0;   ///< chunks that got explicit hugetlb
   std::size_t thp_chunks = 0;       ///< chunks that are THP-eligible
   std::size_t small_chunks = 0;     ///< chunks on base pages
+  std::size_t remote_chunks = 0;    ///< chunks placed on a non-local node
 };
 
 /// Monotonic allocator with pluggable page policy.
@@ -44,8 +47,12 @@ class Arena {
   /// \param policy page regime for all chunks.
   /// \param chunk_bytes growth quantum; individual allocations larger than
   ///        this get a dedicated chunk of their own size.
+  /// \param pool the PagePool chunks are carved from; nullptr defers to
+  ///        global_page_pool() at first allocation (so constructing an
+  ///        Arena never forces pool initialization).
   explicit Arena(HugePolicy policy = default_policy(),
-                 std::size_t chunk_bytes = 64ull << 20);
+                 std::size_t chunk_bytes = 64ull << 20,
+                 PagePool* pool = nullptr);
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -89,7 +96,8 @@ class Arena {
   mutable Mutex mutex_;
   HugePolicy policy_;       // set in the constructor, immutable afterwards
   std::size_t chunk_bytes_; // set in the constructor, immutable afterwards
-  std::vector<MappedRegion> chunks_ FHP_GUARDED_BY(mutex_);
+  PagePool* pool_;          // set in the constructor, immutable afterwards
+  std::vector<PoolAllocation> chunks_ FHP_GUARDED_BY(mutex_);
   /// next free byte in the last chunk
   std::byte* cursor_ FHP_GUARDED_BY(mutex_) = nullptr;
   std::byte* chunk_end_ FHP_GUARDED_BY(mutex_) = nullptr;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "mem/page_pool.hpp"
 #include "support/error.hpp"
 #include "support/runtime_params.hpp"
 #include "support/string_util.hpp"
@@ -72,9 +73,11 @@ void declare_runtime_params(RuntimeParams& params) {
                         "resolve from " +
                             std::string(kPolicyEnvVar) + " / " +
                             kFujitsuPolicyEnvVar + ")");
+  declare_page_pool_params(params);
 }
 
 void apply_runtime_params(const RuntimeParams& params) {
+  apply_page_pool_params(params);
   const std::string value = params.get_string(kPolicyParamName);
   if (value.empty()) return;
   const auto parsed = parse_huge_policy(value);

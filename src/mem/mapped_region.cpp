@@ -43,20 +43,38 @@ void* try_mmap(std::size_t bytes, int extra_flags) noexcept {
 }
 
 /// Pick a hugetlb pool size for \p bytes: the caller's preference if that
-/// pool exists, else the largest pool page <= bytes (so a 40 MiB request
-/// does not burn a 512 MiB page), else the smallest pool available.
+/// pool exists and can cover the request, else the largest pool page
+/// <= bytes (so a 40 MiB request does not burn a 512 MiB page), else the
+/// smallest pool available. Pools whose free pages cannot cover the
+/// rounded-up request are skipped: MAP_HUGETLB against an exhausted pool
+/// is a doomed syscall, and burning it would turn "the pool ran dry" into
+/// a silent THP fallback instead of a logged decision.
 std::size_t choose_hugetlb_page(std::size_t bytes, std::size_t preferred) {
   const auto pools = hugetlb_pools();
   if (pools.empty()) return 0;
+  const auto can_satisfy = [bytes](const HugetlbPool& p) {
+    return p.free_hugepages >= round_up(bytes, p.page_bytes) / p.page_bytes;
+  };
   if (preferred != 0) {
     for (const auto& p : pools) {
-      if (p.page_bytes == preferred) return preferred;
+      if (p.page_bytes != preferred) continue;
+      if (can_satisfy(p)) return preferred;
+      FHP_LOG(kInfo) << "hugetlb pool " << format_bytes(p.page_bytes)
+                     << " cannot cover " << format_bytes(bytes) << " ("
+                     << p.free_hugepages << '/' << p.nr_hugepages
+                     << " pages free); falling back";
+      return 0;
     }
-    return 0;  // explicit preference not satisfiable -> let caller fall back
+    return 0;  // explicit preference not configured -> let caller fall back
   }
   std::size_t best = 0;
   for (const auto& p : pools) {
+    if (!can_satisfy(p)) continue;
     if (p.page_bytes <= bytes || best == 0) best = p.page_bytes;
+  }
+  if (best == 0) {
+    FHP_LOG(kInfo) << "no hugetlb pool has enough free pages for "
+                   << format_bytes(bytes) << "; falling back";
   }
   return best;
 }
@@ -87,11 +105,16 @@ MappedRegion::MappedRegion(const MapRequest& request) {
         if (request.prefault) prefault();
         return;
       }
-      FHP_LOG(kDebug) << "MAP_HUGETLB(" << format_bytes(hp)
-                      << ") failed (errno=" << errno
-                      << "); falling back to THP";
+      // Capture errno before the log stream runs: format_bytes and the
+      // stream machinery may make calls that clobber it.
+      const int err = errno;
+      FHP_LOG(kInfo) << "MAP_HUGETLB(" << format_bytes(hp)
+                     << ") failed (errno=" << err
+                     << "); falling back to THP";
     } else {
-      FHP_LOG(kDebug) << "no hugetlb pool configured; falling back to THP";
+      FHP_LOG(kInfo) << "no hugetlb pool can back "
+                     << format_bytes(request.bytes)
+                     << "; falling back to THP";
     }
   }
 
@@ -120,7 +143,8 @@ MappedRegion::MappedRegion(const MapRequest& request) {
       page_bytes_ = pmd;
       backing_ = Backing::kThp;
       if (!advise_huge(addr_, size_)) {
-        FHP_LOG(kDebug) << "madvise(MADV_HUGEPAGE) rejected (errno=" << errno
+        const int err = errno;
+        FHP_LOG(kDebug) << "madvise(MADV_HUGEPAGE) rejected (errno=" << err
                         << "); region stays THP-eligible only if policy is "
                            "'always'";
       }
@@ -135,8 +159,11 @@ MappedRegion::MappedRegion(const MapRequest& request) {
   const std::size_t len = round_up(request.bytes, base);
   void* p = try_mmap(len, 0);
   if (p == nullptr) {
+    // errno first: the string concatenation below allocates and may
+    // clobber it before SystemError reads its second argument.
+    const int err = errno;
     throw SystemError(
-        "mmap of " + format_bytes(len) + " anonymous memory failed", errno);
+        "mmap of " + format_bytes(len) + " anonymous memory failed", err);
   }
   addr_ = p;
   size_ = len;
@@ -144,7 +171,8 @@ MappedRegion::MappedRegion(const MapRequest& request) {
   backing_ = Backing::kSmallPages;
   // Keep the no-huge-pages arm honest even under THP policy `always`.
   if (!advise_no_huge(addr_, size_)) {
-    FHP_LOG(kDebug) << "madvise(MADV_NOHUGEPAGE) rejected (errno=" << errno
+    const int err = errno;
+    FHP_LOG(kDebug) << "madvise(MADV_NOHUGEPAGE) rejected (errno=" << err
                     << ')';
   }
   if (request.prefault) prefault();
@@ -156,8 +184,8 @@ MappedRegion::MappedRegion(MappedRegion&& other) noexcept
     : addr_(std::exchange(other.addr_, nullptr)),
       size_(std::exchange(other.size_, 0)),
       page_bytes_(std::exchange(other.page_bytes_, 0)),
-      backing_(other.backing_),
-      requested_(other.requested_) {}
+      backing_(std::exchange(other.backing_, Backing::kSmallPages)),
+      requested_(std::exchange(other.requested_, HugePolicy::kNone)) {}
 
 MappedRegion& MappedRegion::operator=(MappedRegion&& other) noexcept {
   if (this != &other) {
@@ -165,8 +193,8 @@ MappedRegion& MappedRegion::operator=(MappedRegion&& other) noexcept {
     addr_ = std::exchange(other.addr_, nullptr);
     size_ = std::exchange(other.size_, 0);
     page_bytes_ = std::exchange(other.page_bytes_, 0);
-    backing_ = other.backing_;
-    requested_ = other.requested_;
+    backing_ = std::exchange(other.backing_, Backing::kSmallPages);
+    requested_ = std::exchange(other.requested_, HugePolicy::kNone);
   }
   return *this;
 }
@@ -199,10 +227,15 @@ std::uint64_t MappedRegion::resident_huge_bytes() const {
 void MappedRegion::reset() noexcept {
   if (addr_ != nullptr) {
     ::munmap(addr_, size_);
-    addr_ = nullptr;
-    size_ = 0;
-    page_bytes_ = 0;
   }
+  // Restore the full default-constructed state: a reset (or moved-from)
+  // region must not keep reporting the old backing()/requested_policy()
+  // through the verification API.
+  addr_ = nullptr;
+  size_ = 0;
+  page_bytes_ = 0;
+  backing_ = Backing::kSmallPages;
+  requested_ = HugePolicy::kNone;
 }
 
 std::string MappedRegion::describe() const {

@@ -1,0 +1,106 @@
+#include "mem/numa.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "support/string_util.hpp"
+
+namespace fhp::mem {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<std::size_t> read_size_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  long long v = -1;
+  in >> v;
+  if (!in || v < 0) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+char ascii_lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<int> parse_node_dirname(const std::string& name) {
+  static constexpr std::string_view kPrefix = "node";
+  if (!starts_with(name, kPrefix)) return std::nullopt;
+  const std::string_view digits = std::string_view(name).substr(kPrefix.size());
+  if (digits.empty()) return std::nullopt;
+  const auto id = parse_int(digits);
+  if (!id || *id < 0) return std::nullopt;
+  return static_cast<int>(*id);
+}
+
+std::vector<NodeHugePools> node_hugetlb_pools(const std::string& node_root) {
+  std::vector<NodeHugePools> nodes;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(node_root, ec)) {
+    const auto id = parse_node_dirname(entry.path().filename().string());
+    if (!id) continue;
+    NodeHugePools node;
+    node.node = *id;
+    const fs::path hugepages = entry.path() / "hugepages";
+    std::error_code inner_ec;
+    for (const auto& pool_dir : fs::directory_iterator(hugepages, inner_ec)) {
+      const auto size =
+          parse_hugepages_dirname(pool_dir.path().filename().string());
+      if (!size) continue;
+      HugetlbPool pool;
+      pool.page_bytes = *size;
+      pool.nr_hugepages =
+          read_size_file(pool_dir.path() / "nr_hugepages").value_or(0);
+      pool.free_hugepages =
+          read_size_file(pool_dir.path() / "free_hugepages").value_or(0);
+      // Per-node trees expose no resv_hugepages file; leave it zero.
+      pool.surplus_hugepages =
+          read_size_file(pool_dir.path() / "surplus_hugepages").value_or(0);
+      node.pools.push_back(pool);
+    }
+    std::sort(node.pools.begin(), node.pools.end(),
+              [](const HugetlbPool& a, const HugetlbPool& b) {
+                return a.page_bytes < b.page_bytes;
+              });
+    nodes.push_back(std::move(node));
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodeHugePools& a, const NodeHugePools& b) {
+              return a.node < b.node;
+            });
+  return nodes;
+}
+
+std::string_view to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kLocalFirst: return "local-first";
+    case PlacementPolicy::kRemoteHugeFirst: return "remote-huge-first";
+  }
+  return "?";
+}
+
+std::optional<PlacementPolicy> parse_placement_policy(std::string_view s) {
+  if (iequals(s, "local") || iequals(s, "local-first") ||
+      iequals(s, "first-touch")) {
+    return PlacementPolicy::kLocalFirst;
+  }
+  if (iequals(s, "remote") || iequals(s, "remote-huge") ||
+      iequals(s, "remote-huge-first")) {
+    return PlacementPolicy::kRemoteHugeFirst;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fhp::mem

@@ -1,0 +1,84 @@
+/// \file numa.hpp
+/// \brief Per-NUMA-node hugetlb inventories and the placement vocabulary.
+///
+/// The kernel exposes a hugetlb pool tree *per node* under
+/// /sys/devices/system/node/node<N>/hugepages/hugepages-<M>kB (the
+/// per-node trees carry nr/free/surplus but no resv field). This header
+/// reads those inventories — with an injectable root so tests run against
+/// fixture trees, the same pattern as hugetlb_pools() — and defines the
+/// vocabulary mem::PagePool and tlb::Machine share to talk about
+/// placement: PlacementPolicy and PoolDecision.
+///
+/// The kRemoteHugeFirst policy follows the RemoteHugePages observation
+/// (see PAPERS.md): on a NUMA machine where the local node's pool has run
+/// dry, a *remote* huge page often beats a *local* small page, because
+/// the page-walk traffic a small page induces costs more than the extra
+/// hops of remote accesses. This file deliberately holds no cost model —
+/// costs live in tlb::Machine, which may depend on mem (never the
+/// reverse; tools/fhp_analyze.py enforces the direction).
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mem/mapped_region.hpp"
+#include "mem/page_size.hpp"
+
+namespace fhp::mem {
+
+/// One node's hugetlb pools (pools sorted by page size, as hugetlb_pools).
+struct NodeHugePools {
+  int node = 0;
+  std::vector<HugetlbPool> pools;
+};
+
+/// Enumerate per-node hugetlb pools from /sys/devices/system/node
+/// (injectable root). Nodes are sorted by id; an empty result means the
+/// kernel exposes no node tree (containers, non-NUMA configs) — callers
+/// fall back to the system-wide hugetlb_pools() view as a single node.
+[[nodiscard]] std::vector<NodeHugePools> node_hugetlb_pools(
+    const std::string& node_root = "/sys/devices/system/node");
+
+/// Parse a "node3" style directory name to the node id.
+[[nodiscard]] std::optional<int> parse_node_dirname(const std::string& name);
+
+/// How PagePool binds allocations to nodes.
+enum class PlacementPolicy {
+  /// First-touch local: allocate from the local node's pool; when it
+  /// cannot satisfy the request, degrade the page size locally
+  /// (THP, then base pages) rather than leave the node.
+  kLocalFirst,
+  /// Prefer remote-huge over local-small: local pool first, then any
+  /// other node whose pool can satisfy the request, and only then
+  /// degrade the page size.
+  kRemoteHugeFirst,
+};
+
+/// Canonical spelling ("local-first", "remote-huge-first").
+[[nodiscard]] std::string_view to_string(PlacementPolicy policy) noexcept;
+
+/// Parse a placement policy string (case-insensitive); nullopt if
+/// unrecognized. Accepts "local"/"local-first"/"first-touch" and
+/// "remote-huge"/"remote-huge-first"/"remote".
+[[nodiscard]] std::optional<PlacementPolicy> parse_placement_policy(
+    std::string_view s);
+
+/// What the pool decided for one allocation: the page-size tier, the
+/// chosen pool page and node, and a static reason string for logs and
+/// reports. The decision is what the *policy* chose from the configured
+/// inventory; the MappedRegion records what the kernel actually granted,
+/// and PagePool counts any shortfall between the two — the paper's
+/// verify-don't-assume rule applied to placement.
+struct PoolDecision {
+  Backing tier = Backing::kSmallPages;
+  std::size_t page_bytes = 0;  ///< pool page size for kHugetlbfs, else 0
+  int node = -1;               ///< chosen node; -1 = no node binding modeled
+  bool remote = false;         ///< node differs from the pool's local node
+  const char* reason = "";     ///< e.g. "local-huge", "pool-exhausted->thp"
+};
+
+}  // namespace fhp::mem

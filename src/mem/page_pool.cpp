@@ -1,0 +1,438 @@
+#include "mem/page_pool.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "mem/huge_policy.hpp"
+#include "mem/hugeadm.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/runtime_params.hpp"
+#include "support/string_util.hpp"
+
+namespace fhp::mem {
+
+namespace {
+
+/// Runtime-parameter overrides recorded by apply_page_pool_params();
+/// consulted ahead of the environment by config_from_environment().
+struct ParamOverrides {
+  Mutex mutex;
+  std::optional<std::string> pool_spec FHP_GUARDED_BY(mutex);
+  std::optional<PlacementPolicy> placement FHP_GUARDED_BY(mutex);
+};
+
+ParamOverrides& param_overrides() {
+  static ParamOverrides overrides;
+  return overrides;
+}
+
+std::string_view state_name(int state) noexcept {
+  switch (state) {
+    case 0: return "idle";
+    case 1: return "ready";
+    case 2: return "finished";
+  }
+  return "?";
+}
+
+/// Pages needed to cover \p bytes from a pool of \p page_bytes pages.
+std::size_t pages_needed(std::size_t bytes, std::size_t page_bytes) noexcept {
+  return round_up(bytes, page_bytes) / page_bytes;
+}
+
+void publish_event(perf::CounterSink* sink, perf::Event e) noexcept {
+  if (sink == nullptr) return;
+  perf::CounterSet delta;
+  delta[e] = 1;
+  sink->sink_counters(delta);
+}
+
+}  // namespace
+
+void parse_pool_spec(std::string_view spec, bool& enabled,
+                     std::vector<PoolReservation>& reservations) {
+  enabled = true;
+  reservations.clear();
+  const std::string v = to_lower(trim(spec));
+  if (v.empty()) return;
+  if (v == "off" || v == "0" || v == "none" || v == "false") {
+    enabled = false;
+    return;
+  }
+  // Bare count: reserve that many pages of the paper's default 2 MiB size.
+  if (const auto n = parse_int(v); n && *n > 0) {
+    reservations.push_back({kPage2M, static_cast<std::size_t>(*n)});
+    return;
+  }
+  // "2M:4,1G:1" style explicit per-size reservations.
+  for (const auto& field : split(v, ',')) {
+    const auto parts = split(trim(field), ':');
+    const auto fail = [&spec, &field]() -> void {
+      throw ConfigError("bad page-pool spec '" + std::string(spec) +
+                        "' (field '" + field +
+                        "'): expected off | <pages> | <size>:<pages>[,...]");
+    };
+    if (parts.size() != 2) fail();
+    const auto size = parse_size_bytes(trim(parts[0]));
+    const auto count = parse_int(trim(parts[1]));
+    if (!size || !is_pow2(*size) || !count || *count < 0) fail();
+    reservations.push_back(
+        {static_cast<std::size_t>(*size), static_cast<std::size_t>(*count)});
+  }
+}
+
+PagePoolConfig config_from_environment() {
+  PagePoolConfig config;
+
+  std::optional<std::string> spec;
+  {
+    auto& overrides = param_overrides();
+    MutexLock lock(overrides.mutex);
+    spec = overrides.pool_spec;
+    if (overrides.placement) config.placement = *overrides.placement;
+  }
+  if (!spec) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once when the pool is
+    // configured at startup, single-threaded; nothing calls setenv.
+    if (const char* raw = std::getenv(kPoolEnvVar);
+        raw != nullptr && *raw != '\0') {
+      spec = std::string(raw);
+    }
+  }
+  if (spec) parse_pool_spec(*spec, config.enabled, config.reservations);
+
+  bool have_placement = false;
+  {
+    auto& overrides = param_overrides();
+    MutexLock lock(overrides.mutex);
+    have_placement = overrides.placement.has_value();
+  }
+  if (!have_placement) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- same setup-time-only read.
+    if (const char* raw = std::getenv(kPlacementEnvVar);
+        raw != nullptr && *raw != '\0') {
+      const auto parsed = parse_placement_policy(raw);
+      if (!parsed) {
+        throw ConfigError(std::string(kPlacementEnvVar) + "='" + raw +
+                          "' is not a valid placement policy "
+                          "(expected local-first|remote-huge-first)");
+      }
+      config.placement = *parsed;
+    }
+  }
+  return config;
+}
+
+void PagePool::init(PagePoolConfig config) {
+  MutexLock lock(mutex_);
+  init_locked(std::move(config));
+}
+
+void PagePool::init_locked(PagePoolConfig config) {
+  if (state_ == State::kReady) {
+    throw ConfigError("PagePool::init() called twice (pool is ready; call "
+                      "fini() first if reconfiguration is intended)");
+  }
+  if (state_ == State::kFinished) {
+    throw ConfigError("PagePool::init() called on a finished pool");
+  }
+
+  // Best-effort pool sizing — exactly what `hugeadm --pool-pages-min`
+  // would do. Unprivileged (tests, CI containers) this fails and we run
+  // with whatever the system already reserved.
+  for (const auto& r : config.reservations) {
+    const auto got =
+        ensure_hugetlb_pool(r.page_bytes, r.pages, config.hugepages_root);
+    if (!got) {
+      FHP_LOG(kInfo) << "cannot reserve " << r.pages << " x "
+                     << format_bytes(r.page_bytes)
+                     << " hugetlb pages (no privilege or no such pool); "
+                        "using existing reservation";
+    } else if (*got < r.pages) {
+      FHP_LOG(kWarn) << "hugetlb pool " << format_bytes(r.page_bytes)
+                     << " granted only " << *got << '/' << r.pages
+                     << " pages (fragmentation?)";
+    }
+  }
+
+  // Inventory: explicit override > per-node sysfs tree > system-wide tree
+  // synthesized as a single node 0.
+  if (!config.inventory.empty()) {
+    inventory_ = config.inventory;
+  } else {
+    inventory_ = node_hugetlb_pools(config.node_root);
+    if (inventory_.empty()) {
+      NodeHugePools node;
+      node.node = 0;
+      node.pools = hugetlb_pools(config.hugepages_root);
+      if (!node.pools.empty()) inventory_.push_back(std::move(node));
+    }
+  }
+  thp_available_ = thp_pmd_size(config.thp_root).has_value();
+  config_ = std::move(config);
+  counters_ = PoolCounters{};
+  state_ = State::kReady;
+}
+
+void PagePool::ensure_ready_locked() {
+  if (state_ == State::kIdle) {
+    init_locked(config_from_environment());
+    return;
+  }
+  if (state_ == State::kFinished) {
+    throw ConfigError("PagePool used after fini()");
+  }
+}
+
+std::size_t PagePool::find_pool_locked(int node, std::size_t bytes,
+                                       HugetlbPool** pool_out) {
+  *pool_out = nullptr;
+  for (auto& n : inventory_) {
+    if (n.node != node) continue;
+    // Prefer the largest pool page <= bytes with enough free pages (so a
+    // 40 MiB request does not burn a 1 GiB page), else the smallest pool
+    // that can satisfy the request.
+    HugetlbPool* best = nullptr;
+    for (auto& p : n.pools) {
+      if (p.free_hugepages < pages_needed(bytes, p.page_bytes)) continue;
+      if (best == nullptr || p.page_bytes <= bytes) best = &p;
+    }
+    if (best != nullptr) {
+      *pool_out = best;
+      return best->page_bytes;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+PoolDecision PagePool::plan(std::size_t bytes, HugePolicy policy) {
+  MutexLock lock(mutex_);
+  ensure_ready_locked();
+  return plan_locked(bytes, policy);
+}
+
+PoolDecision PagePool::plan_locked(std::size_t bytes, HugePolicy policy) {
+  PoolDecision d;
+  if (!config_.enabled) {
+    // Pass-through: MappedRegion's own ladder governs; nothing is counted.
+    d.tier = policy == HugePolicy::kHugetlbfs ? Backing::kHugetlbfs
+             : policy == HugePolicy::kThp     ? Backing::kThp
+                                              : Backing::kSmallPages;
+    d.reason = "pool-disabled";
+    return d;
+  }
+  switch (policy) {
+    case HugePolicy::kNone:
+      d.tier = Backing::kSmallPages;
+      d.reason = "policy=none";
+      return d;
+    case HugePolicy::kThp:
+      if (thp_available_) {
+        d.tier = Backing::kThp;
+        d.reason = "policy=thp";
+      } else {
+        d.tier = Backing::kSmallPages;
+        d.reason = "thp-unavailable->base";
+        ++counters_.base_fallbacks;
+        publish_event(config_.sink, perf::Event::kPoolBaseFallbacks);
+      }
+      return d;
+    case HugePolicy::kHugetlbfs:
+      break;
+  }
+
+  // Local node first.
+  HugetlbPool* pool = nullptr;
+  std::size_t page = find_pool_locked(config_.local_node, bytes, &pool);
+  int node = config_.local_node;
+
+  // Remote-huge-first: a remote huge page beats a local small page.
+  if (pool == nullptr &&
+      config_.placement == PlacementPolicy::kRemoteHugeFirst) {
+    for (const auto& n : inventory_) {
+      if (n.node == config_.local_node) continue;
+      page = find_pool_locked(n.node, bytes, &pool);
+      if (pool != nullptr) {
+        node = n.node;
+        break;
+      }
+    }
+  }
+
+  if (pool != nullptr) {
+    pool->free_hugepages -= pages_needed(bytes, page);
+    d.tier = Backing::kHugetlbfs;
+    d.page_bytes = page;
+    d.node = node;
+    d.remote = node != config_.local_node;
+    d.reason = d.remote ? "remote-huge" : "local-huge";
+    ++counters_.huge_allocs;
+    publish_event(config_.sink, perf::Event::kPoolHugeAllocs);
+    if (d.remote) {
+      ++counters_.remote_huge_allocs;
+      publish_event(config_.sink, perf::Event::kPoolRemoteAllocs);
+    }
+    return d;
+  }
+
+  // Exhausted: degrade, loudly.
+  ++counters_.exhausted_events;
+  if (thp_available_) {
+    d.tier = Backing::kThp;
+    d.reason = "pool-exhausted->thp";
+    ++counters_.thp_fallbacks;
+    publish_event(config_.sink, perf::Event::kPoolThpFallbacks);
+  } else {
+    d.tier = Backing::kSmallPages;
+    d.reason = "pool-exhausted->base";
+    ++counters_.base_fallbacks;
+    publish_event(config_.sink, perf::Event::kPoolBaseFallbacks);
+  }
+  FHP_LOG(kInfo) << "page pool exhausted for " << format_bytes(bytes)
+                 << " (placement=" << to_string(config_.placement)
+                 << "); degrading to "
+                 << (d.tier == Backing::kThp ? "THP" : "base pages");
+  return d;
+}
+
+PoolAllocation PagePool::alloc(std::size_t bytes, HugePolicy policy) {
+  const PoolDecision d = plan(bytes, policy);
+
+  MapRequest req;
+  req.bytes = bytes;
+  switch (d.tier) {
+    case Backing::kHugetlbfs:
+      req.policy = HugePolicy::kHugetlbfs;
+      req.hugetlb_page = d.page_bytes;
+      break;
+    case Backing::kThp:
+      // A decided THP fallback skips the doomed MAP_HUGETLB attempt.
+      req.policy = HugePolicy::kThp;
+      break;
+    case Backing::kSmallPages:
+      req.policy = HugePolicy::kNone;
+      break;
+  }
+  MappedRegion region(req);
+
+  if (region.backing() != d.tier) {
+    {
+      MutexLock lock(mutex_);
+      ++counters_.backing_shortfalls;
+    }
+    FHP_LOG(kInfo) << "pool decided " << to_string(d.tier) << " ("
+                   << d.reason << ") but the kernel granted "
+                   << to_string(region.backing()) << " for "
+                   << format_bytes(bytes);
+  }
+  return {std::move(region), d};
+}
+
+PoolAllocation PagePool::alloc(std::size_t bytes) {
+  return alloc(bytes, default_policy());
+}
+
+PoolStatus PagePool::status() const {
+  MutexLock lock(mutex_);
+  PoolStatus s;
+  s.enabled = config_.enabled;
+  s.state = state_name(static_cast<int>(state_));
+  s.placement = config_.placement;
+  s.local_node = config_.local_node;
+  s.thp_available = thp_available_;
+  s.inventory = inventory_;
+  s.counters = counters_;
+  return s;
+}
+
+std::string PagePool::status_text() const {
+  const PoolStatus s = status();
+  std::ostringstream os;
+  os << "page pool: " << s.state << (s.enabled ? "" : " (disabled)")
+     << " placement=" << to_string(s.placement)
+     << " local-node=" << s.local_node
+     << " thp=" << (s.thp_available ? "available" : "unavailable") << '\n';
+  if (s.inventory.empty()) {
+    os << "  (no hugetlb pools configured)\n";
+  }
+  for (const auto& n : s.inventory) {
+    os << "  node" << n.node << ":\n";
+    for (const auto& p : n.pools) {
+      os << "    " << format_bytes(p.page_bytes) << " pages: "
+         << p.free_hugepages << '/' << p.nr_hugepages << " free";
+      if (p.surplus_hugepages != 0) {
+        os << " (" << p.surplus_hugepages << " surplus)";
+      }
+      os << '\n';
+    }
+  }
+  os << "  allocs: huge=" << s.counters.huge_allocs
+     << " remote-huge=" << s.counters.remote_huge_allocs
+     << " thp-fallback=" << s.counters.thp_fallbacks
+     << " base-fallback=" << s.counters.base_fallbacks
+     << " exhausted=" << s.counters.exhausted_events
+     << " shortfall=" << s.counters.backing_shortfalls << '\n';
+  return os.str();
+}
+
+PoolCounters PagePool::counters() const {
+  MutexLock lock(mutex_);
+  return counters_;
+}
+
+void PagePool::fini() {
+  MutexLock lock(mutex_);
+  if (state_ == State::kIdle) {
+    throw ConfigError("PagePool::fini() called on an uninitialized pool");
+  }
+  state_ = State::kFinished;  // idempotent from kFinished
+}
+
+PagePool& global_page_pool() {
+  static PagePool pool;
+  return pool;
+}
+
+void declare_page_pool_params(RuntimeParams& params) {
+  params.declare_string(kPoolParamName, "",
+                        "page-pool reservation spec (off | <pages> | "
+                        "<size>:<pages>[,...]; empty: resolve from " +
+                            std::string(kPoolEnvVar) + ")");
+  params.declare_string(kPlacementParamName, "",
+                        "NUMA placement policy "
+                        "(local-first|remote-huge-first; empty: resolve "
+                        "from " +
+                            std::string(kPlacementEnvVar) + ")");
+}
+
+void apply_page_pool_params(const RuntimeParams& params) {
+  const std::string spec = params.get_string(kPoolParamName);
+  if (!spec.empty()) {
+    // Validate now (ConfigError on junk) so a bad parameter file fails at
+    // apply time, not at first allocation.
+    bool enabled = true;
+    std::vector<PoolReservation> reservations;
+    parse_pool_spec(spec, enabled, reservations);
+    auto& overrides = param_overrides();
+    MutexLock lock(overrides.mutex);
+    overrides.pool_spec = spec;
+  }
+  const std::string placement = params.get_string(kPlacementParamName);
+  if (!placement.empty()) {
+    const auto parsed = parse_placement_policy(placement);
+    if (!parsed) {
+      throw ConfigError(std::string(kPlacementParamName) + "='" + placement +
+                        "' is not a valid placement policy "
+                        "(expected local-first|remote-huge-first)");
+    }
+    auto& overrides = param_overrides();
+    MutexLock lock(overrides.mutex);
+    overrides.placement = *parsed;
+  }
+}
+
+}  // namespace fhp::mem

@@ -1,0 +1,257 @@
+/// \file page_pool.hpp
+/// \brief mem::PagePool — an explicit huge-page pool manager with NUMA
+///        placement and a contract-enforced degradation ladder.
+///
+/// The paper's Ookami runs worked because an administrator pre-reserved
+/// hugetlb pools (`hugeadm`, boot parameters) and the Fujitsu runtime
+/// then carved every large allocation from them. MappedRegion gives us
+/// the per-mapping mechanics; PagePool adds the *management* layer on
+/// top:
+///
+///   - an init → alloc → status → fini lifecycle with hard contracts
+///     (double-init and alloc-after-fini throw fhp::ConfigError — a pool
+///     misused is a configuration bug, not a soft failure),
+///   - capacity/free accounting read from the sysfs hugetlb trees (both
+///     the system-wide tree and the per-NUMA-node trees), with injectable
+///     roots so tests run unprivileged against fixtures,
+///   - a placement policy across nodes, including kRemoteHugeFirst —
+///     prefer a *remote huge* page over a *local small* page when the
+///     local pool has run dry (the RemoteHugePages result),
+///   - graceful, *logged and counted* degradation when pools are
+///     exhausted: hugetlbfs → THP → base pages, never a crash and never
+///     a silent page-size change. Every decision is queryable
+///     (PoolDecision) and every shortfall between the decision and what
+///     the kernel actually granted is counted — verify, don't assume.
+///
+/// PagePool does not mmap anything itself: all mappings go through
+/// MappedRegion, which owns the one raw-mmap seam in the library
+/// (tools/flashhp_lint.py enforces that scoping).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/mapped_region.hpp"
+#include "mem/numa.hpp"
+#include "mem/page_size.hpp"
+#include "support/events.hpp"
+#include "support/mutex.hpp"
+
+namespace fhp {
+class RuntimeParams;
+}  // namespace fhp
+
+namespace fhp::mem {
+
+/// One pool reservation request: "hold N pages of this size".
+struct PoolReservation {
+  std::size_t page_bytes = 0;
+  std::size_t pages = 0;
+};
+
+/// Configuration for PagePool::init(). All sysfs roots are injectable so
+/// tests (and CI containers without privilege) run against fixture trees.
+struct PagePoolConfig {
+  /// System-wide hugetlb tree (capacity reporting + reservation writes).
+  std::string hugepages_root = "/sys/kernel/mm/hugepages";
+  /// Per-node tree; nodes under here become the pool inventory.
+  std::string node_root = "/sys/devices/system/node";
+  /// THP tree; hpage_pmd_size decides whether the THP fallback tier exists.
+  std::string thp_root = "/sys/kernel/mm/transparent_hugepage";
+
+  /// false = pass-through mode: alloc() forwards to MappedRegion without
+  /// consulting any inventory (FLASHHP_PAGE_POOL=off).
+  bool enabled = true;
+
+  /// Best-effort pool sizing performed at init() (requires privilege;
+  /// failure is logged, not fatal — the inventory then reports whatever
+  /// the system already had).
+  std::vector<PoolReservation> reservations;
+
+  /// The node considered local for placement decisions.
+  int local_node = 0;
+
+  PlacementPolicy placement = PlacementPolicy::kLocalFirst;
+
+  /// Non-empty: use this inventory verbatim instead of scanning sysfs.
+  /// This is how tests and benchmarks model asymmetric node pools
+  /// deterministically.
+  std::vector<NodeHugePools> inventory;
+
+  /// Where POOL_* counter events are published (may be null).
+  perf::CounterSink* sink = nullptr;
+};
+
+/// Running totals of pool decisions (monotonic over the pool's lifetime).
+struct PoolCounters {
+  std::uint64_t huge_allocs = 0;         ///< placed on a hugetlb pool
+  std::uint64_t remote_huge_allocs = 0;  ///< subset placed on a remote node
+  std::uint64_t thp_fallbacks = 0;       ///< degraded to THP
+  std::uint64_t base_fallbacks = 0;      ///< degraded to base pages
+  std::uint64_t exhausted_events = 0;    ///< no pool could satisfy a request
+  /// Decisions the kernel did not honour (decided tier != actual backing).
+  std::uint64_t backing_shortfalls = 0;
+};
+
+/// Snapshot returned by PagePool::status().
+struct PoolStatus {
+  bool enabled = true;
+  std::string_view state = "idle";  ///< "idle" | "ready" | "finished"
+  PlacementPolicy placement = PlacementPolicy::kLocalFirst;
+  int local_node = 0;
+  bool thp_available = false;
+  /// The pool mirror: free_hugepages reflects pages the pool has handed
+  /// out, not necessarily what sysfs says right now.
+  std::vector<NodeHugePools> inventory;
+  PoolCounters counters;
+};
+
+/// One allocation carved from the pool: the mapping plus the placement
+/// decision that produced it. Move-only, releases on destruction.
+class PoolAllocation {
+ public:
+  PoolAllocation() = default;
+  PoolAllocation(MappedRegion region, const PoolDecision& decision)
+      : region_(std::move(region)), decision_(decision) {}
+
+  PoolAllocation(PoolAllocation&& other) noexcept
+      : region_(std::move(other.region_)), decision_(other.decision_) {
+    other.decision_ = PoolDecision{};
+  }
+  PoolAllocation& operator=(PoolAllocation&& other) noexcept {
+    if (this != &other) {
+      region_ = std::move(other.region_);
+      decision_ = other.decision_;
+      other.decision_ = PoolDecision{};
+    }
+    return *this;
+  }
+  PoolAllocation(const PoolAllocation&) = delete;
+  PoolAllocation& operator=(const PoolAllocation&) = delete;
+
+  [[nodiscard]] void* data() const noexcept { return region_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return region_.size(); }
+  [[nodiscard]] bool valid() const noexcept { return region_.valid(); }
+
+  /// The underlying mapping (kernel truth: backing(), page_bytes(), ...).
+  [[nodiscard]] const MappedRegion& region() const noexcept { return region_; }
+
+  /// What the pool *decided* (policy truth; may differ from region()'s
+  /// backing — PagePool counts such shortfalls).
+  [[nodiscard]] const PoolDecision& decision() const noexcept {
+    return decision_;
+  }
+
+  /// Shorthand for region().backing().
+  [[nodiscard]] Backing backing() const noexcept { return region_.backing(); }
+
+ private:
+  MappedRegion region_;
+  PoolDecision decision_;
+};
+
+/// Environment knobs honoured by config_from_environment():
+///   FLASHHP_PAGE_POOL = off | 0        disable the pool (pass-through)
+///                     | <N>            reserve N 2 MiB pages at init
+///                     | 2M:<N>,1G:<M>  explicit per-size reservations
+///   FLASHHP_PLACEMENT = local-first | remote-huge-first
+inline constexpr const char* kPoolEnvVar = "FLASHHP_PAGE_POOL";
+inline constexpr const char* kPlacementEnvVar = "FLASHHP_PLACEMENT";
+
+/// Parse a FLASHHP_PAGE_POOL spec into (enabled, reservations). Throws
+/// fhp::ConfigError on junk — silent misconfiguration is the failure mode
+/// this library exists to eliminate.
+void parse_pool_spec(std::string_view spec, bool& enabled,
+                     std::vector<PoolReservation>& reservations);
+
+/// Default config resolved from runtime parameters (if applied) and the
+/// environment, in that order.
+[[nodiscard]] PagePoolConfig config_from_environment();
+
+/// The pool manager. All entry points are thread-safe (one internal
+/// mutex); allocations themselves are serialized, which is fine — flashhp
+/// carves arenas at setup time, not in inner loops.
+class PagePool {
+ public:
+  PagePool() = default;
+  ~PagePool() = default;
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  /// Reserve pools (best-effort), read the node inventory, and arm the
+  /// pool. Throws ConfigError if already initialized (double-init) or
+  /// already finished.
+  void init(PagePoolConfig config);
+
+  /// Decide placement for \p bytes under \p policy without mapping
+  /// anything: consults and decrements the inventory mirror, updates
+  /// counters, publishes POOL_* events. Auto-initializes from the
+  /// environment on first use; throws ConfigError after fini().
+  [[nodiscard]] PoolDecision plan(std::size_t bytes, HugePolicy policy);
+
+  /// plan() + carve the mapping through MappedRegion, honouring the
+  /// decided tier (a decided THP fallback skips the doomed MAP_HUGETLB
+  /// attempt entirely). Records a backing shortfall if the kernel did
+  /// not honour the decision. Never crashes on exhaustion — the ladder
+  /// ends at base pages, and base-page mmap failure is an out-of-memory
+  /// SystemError from MappedRegion, not a pool bug.
+  [[nodiscard]] PoolAllocation alloc(std::size_t bytes, HugePolicy policy);
+
+  /// alloc() with the process default policy.
+  [[nodiscard]] PoolAllocation alloc(std::size_t bytes);
+
+  /// Snapshot of state, inventory mirror, and counters. Valid in any
+  /// lifecycle state.
+  [[nodiscard]] PoolStatus status() const;
+
+  /// `hugectl --pool-list` style human-readable report of status().
+  [[nodiscard]] std::string status_text() const;
+
+  [[nodiscard]] PoolCounters counters() const;
+
+  /// Retire the pool: further plan()/alloc() throw ConfigError.
+  /// Idempotent once finished; throws ConfigError if never initialized.
+  void fini();
+
+ private:
+  enum class State { kIdle, kReady, kFinished };
+
+  void init_locked(PagePoolConfig config) FHP_REQUIRES(mutex_);
+  void ensure_ready_locked() FHP_REQUIRES(mutex_);
+  [[nodiscard]] PoolDecision plan_locked(std::size_t bytes, HugePolicy policy)
+      FHP_REQUIRES(mutex_);
+  /// Find a pool on \p node with enough free pages for \p bytes; returns
+  /// the pool page size (0 = none) and, via \p pool_out, the mirror slot.
+  [[nodiscard]] std::size_t find_pool_locked(int node, std::size_t bytes,
+                                             HugetlbPool** pool_out)
+      FHP_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  State state_ FHP_GUARDED_BY(mutex_) = State::kIdle;
+  PagePoolConfig config_ FHP_GUARDED_BY(mutex_);
+  std::vector<NodeHugePools> inventory_ FHP_GUARDED_BY(mutex_);
+  bool thp_available_ FHP_GUARDED_BY(mutex_) = false;
+  PoolCounters counters_ FHP_GUARDED_BY(mutex_);
+};
+
+/// The process-wide pool Arena and HugeBuffer carve from by default.
+/// Auto-initializes from the environment on first allocation.
+[[nodiscard]] PagePool& global_page_pool();
+
+/// Names of the runtime parameters declared by declare_page_pool_params().
+inline constexpr const char* kPoolParamName = "mem.page_pool";
+inline constexpr const char* kPlacementParamName = "mem.placement";
+
+/// Declare "mem.page_pool" and "mem.placement" (defaults "": defer to the
+/// environment). Called from mem::declare_runtime_params().
+void declare_page_pool_params(RuntimeParams& params);
+
+/// Record non-empty parameter values as overrides consulted by
+/// config_from_environment() ahead of the environment variables. Throws
+/// ConfigError on junk. Called from mem::apply_runtime_params().
+void apply_page_pool_params(const RuntimeParams& params);
+
+}  // namespace fhp::mem

@@ -42,7 +42,10 @@ void parse_proc_table(std::string_view text, const ProcTableField* fields,
 std::string slurp_proc_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw SystemError("cannot open '" + path + "'", errno);
+    // Capture errno before building the message: the string concatenation
+    // allocates and may clobber the open() failure code.
+    const int err = errno;
+    throw SystemError("cannot open '" + path + "'", err);
   }
   std::ostringstream buf;
   buf << in.rdbuf();

@@ -19,8 +19,8 @@ double minmod(double a, double b) noexcept {
 }  // namespace
 
 AmrMesh::AmrMesh(const MeshConfig& config, mem::HugePolicy policy,
-                 LayoutKind layout)
-    : config_(config), tree_(config), unk_(config, policy, layout) {
+                 LayoutKind layout, mem::PagePool* pool)
+    : config_(config), tree_(config), unk_(config, policy, layout, pool) {
   tree_.create_roots();
   unk_.refresh_page_shift();
 }

@@ -33,8 +33,11 @@ namespace fhp::mesh {
 /// given huge-page policy and block layout and creates the root blocks.
 class AmrMesh {
  public:
+  /// \param pool the PagePool `unk` is carved from; nullptr uses the
+  ///        process-wide pool.
   AmrMesh(const MeshConfig& config, mem::HugePolicy policy,
-          LayoutKind layout = default_layout());
+          LayoutKind layout = default_layout(),
+          mem::PagePool* pool = nullptr);
 
   [[nodiscard]] const MeshConfig& config() const noexcept { return config_; }
   [[nodiscard]] UnkContainer& unk() noexcept { return unk_; }

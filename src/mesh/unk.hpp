@@ -10,8 +10,8 @@
 /// block therefore strides by nvar doubles between zones — the memory
 /// pattern the paper identifies as the motivation for huge pages
 /// ("there is a stride in memory for addressing variables in different
-/// zones or blocks"). UnkContainer lives on a MappedRegion under the
-/// experiment's HugePolicy; the index -> address map itself is delegated
+/// zones or blocks"). UnkContainer is carved from a mem::PagePool under
+/// the experiment's HugePolicy; the index -> address map itself is delegated
 /// to a BlockLayout policy (layout.hpp), with the Fortran order
 /// (LayoutKind::kVarMajor) as the bit-for-bit default.
 
@@ -35,8 +35,11 @@ namespace fhp::mesh {
 /// is whatever the active BlockLayout says.
 class UnkContainer {
  public:
+  /// \param pool the PagePool the solution array is carved from; nullptr
+  ///        uses the process-wide pool.
   UnkContainer(const MeshConfig& config, mem::HugePolicy policy,
-               LayoutKind layout_kind = default_layout())
+               LayoutKind layout_kind = default_layout(),
+               mem::PagePool* pool = nullptr)
       : layout_(layout_kind, config.nvar(), config.ni(), config.nj(),
                 config.nk()),
         nvar_(config.nvar()),
@@ -45,7 +48,8 @@ class UnkContainer {
         nk_(config.nk()),
         maxblocks_(config.maxblocks),
         data_(layout_.block_stride() * static_cast<std::size_t>(maxblocks_),
-              policy),
+              policy,
+              pool != nullptr ? *pool : mem::global_page_pool()),
         // Until refresh_page_shift() scans smaps, model with the kernel's
         // base page: 4 KiB on x86, but 64 KiB ARM kernels exist and the
         // paper's A64FX platform runs them.
@@ -115,6 +119,13 @@ class UnkContainer {
   /// Backing region (for huge-page verification and tracing).
   [[nodiscard]] const mem::MappedRegion& region() const noexcept {
     return data_.region();
+  }
+
+  /// The pool placement decision behind the solution array (tier, node,
+  /// degradation reason) — feed to tlb::Machine::apply_placement when
+  /// modeling NUMA placement.
+  [[nodiscard]] const mem::PoolDecision& pool_decision() const noexcept {
+    return data_.allocation().decision();
   }
 
   /// Cache the effective translation page size (scans smaps once); call

@@ -21,7 +21,7 @@ using mesh::var::kVely;
 using mesh::var::kVelz;
 
 SedovSetup::SedovSetup(const SedovParams& params, mem::HugePolicy policy,
-                       mesh::LayoutKind layout)
+                       mesh::LayoutKind layout, mem::PagePool* pool)
     : params_(params), eos_(params.gamma) {
   mesh::MeshConfig config;
   config.ndim = params.ndim;
@@ -37,7 +37,7 @@ SedovSetup::SedovSetup(const SedovParams& params, mem::HugePolicy policy,
   config.nroot = {1, 1, 1};
   config.geometry = mesh::Geometry::kCartesian;
   // FLASH's sedov.par uses outflow on every face.
-  mesh_ = std::make_unique<mesh::AmrMesh>(config, policy, layout);
+  mesh_ = std::make_unique<mesh::AmrMesh>(config, policy, layout, pool);
   initialize();
 }
 

@@ -37,8 +37,11 @@ struct SedovParams {
 /// Assembled Sedov problem: mesh + EOS, data initialized.
 class SedovSetup {
  public:
+  /// \param pool the PagePool mesh storage is carved from; nullptr uses
+  ///        the process-wide pool.
   SedovSetup(const SedovParams& params, mem::HugePolicy policy,
-             mesh::LayoutKind layout = mesh::default_layout());
+             mesh::LayoutKind layout = mesh::default_layout(),
+             mem::PagePool* pool = nullptr);
 
   [[nodiscard]] mesh::AmrMesh& mesh() noexcept { return *mesh_; }
   [[nodiscard]] const eos::GammaEos& eos() const noexcept { return eos_; }

@@ -35,7 +35,7 @@ void mixture_composition(double xc, double xo, double xne, double xash,
 
 SupernovaSetup::SupernovaSetup(const SupernovaParams& params,
                                mem::HugePolicy policy,
-                               mesh::LayoutKind layout)
+                               mesh::LayoutKind layout, mem::PagePool* pool)
     : params_(params),
       flame_speeds_(6.0, 10.0, 81, 0.2, 0.8, 25, params.x_ne22) {
   // --- EOS table (lives on the policy under test, like unk) -------------
@@ -72,7 +72,7 @@ SupernovaSetup::SupernovaSetup(const SupernovaParams& params,
   config.bc[0][1] = mesh::Bc::kOutflow;
   config.bc[1][0] = mesh::Bc::kOutflow;
   config.bc[1][1] = mesh::Bc::kOutflow;
-  mesh_ = std::make_unique<mesh::AmrMesh>(config, policy, layout);
+  mesh_ = std::make_unique<mesh::AmrMesh>(config, policy, layout, pool);
 
   // --- physics units -------------------------------------------------------
   flame::AdrOptions fopt;

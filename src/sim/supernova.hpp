@@ -59,8 +59,11 @@ inline constexpr int kCount = 5;
 /// Assembled supernova problem.
 class SupernovaSetup {
  public:
+  /// \param pool the PagePool mesh storage is carved from; nullptr uses
+  ///        the process-wide pool.
   SupernovaSetup(const SupernovaParams& params, mem::HugePolicy policy,
-                 mesh::LayoutKind layout = mesh::default_layout());
+                 mesh::LayoutKind layout = mesh::default_layout(),
+                 mem::PagePool* pool = nullptr);
 
   [[nodiscard]] mesh::AmrMesh& mesh() noexcept { return *mesh_; }
   [[nodiscard]] const eos::HelmTableEos& eos() const noexcept { return *eos_; }

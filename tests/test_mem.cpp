@@ -392,6 +392,45 @@ TEST(MappedRegion, ResetIsIdempotent) {
   EXPECT_EQ(region.describe(), "<unmapped>");
 }
 
+TEST(MappedRegion, ResetClearsMetadata) {
+  // Regression: reset() used to unmap but leave backing/page_bytes/
+  // requested_policy describing the dead mapping, so a reused region
+  // reported stale page accounting.
+  MapRequest req;
+  req.bytes = 4u << 20;
+  req.policy = HugePolicy::kThp;
+  MappedRegion region(req);
+  region.reset();
+  EXPECT_EQ(region.backing(), Backing::kSmallPages);
+  EXPECT_EQ(region.requested_policy(), HugePolicy::kNone);
+  EXPECT_EQ(region.page_bytes(), 0u);
+  EXPECT_EQ(region.size(), 0u);
+}
+
+TEST(MappedRegion, MovedFromRegionClearsMetadata) {
+  // Regression: the move operations transferred the mapping but left the
+  // source's metadata intact, so describe()/page_bytes() on the husk
+  // claimed pages it no longer owned.
+  MapRequest req;
+  req.bytes = 4u << 20;
+  req.policy = HugePolicy::kThp;
+  MappedRegion a(req);
+  MappedRegion b(std::move(a));
+  // NOLINTBEGIN(bugprone-use-after-move) -- the moved-from state is the
+  // contract under test.
+  EXPECT_EQ(a.backing(), Backing::kSmallPages);
+  EXPECT_EQ(a.requested_policy(), HugePolicy::kNone);
+  EXPECT_EQ(a.page_bytes(), 0u);
+  EXPECT_EQ(a.describe(), "<unmapped>");
+  MappedRegion c;
+  c = std::move(b);
+  EXPECT_EQ(b.backing(), Backing::kSmallPages);
+  EXPECT_EQ(b.requested_policy(), HugePolicy::kNone);
+  EXPECT_EQ(b.page_bytes(), 0u);
+  // NOLINTEND(bugprone-use-after-move)
+  EXPECT_EQ(c.requested_policy(), HugePolicy::kThp);
+}
+
 TEST(MappedRegion, HugetlbfsFallsBackWhenNoPool) {
   // Request an absurd hugetlb preference that no pool satisfies: the
   // region must still come back usable (THP or base pages).

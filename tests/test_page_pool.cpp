@@ -1,0 +1,481 @@
+/// \file test_page_pool.cpp
+/// \brief mem::PagePool: lifecycle contracts, exhaustion degradation,
+///        NUMA placement, status reporting, counter events.
+///
+/// All sysfs-derived state comes from fixture trees (injectable roots) or
+/// explicit synthetic inventories, so every test runs unprivileged and
+/// deterministically. Decisions are asserted via plan(); the real-mapping
+/// truthfulness tests use alloc() and only assert invariants that hold
+/// whatever the kernel grants (never a crash, shortfalls counted).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "mem/allocator.hpp"
+#include "mem/numa.hpp"
+#include "mem/page_pool.hpp"
+#include "support/error.hpp"
+
+namespace fhp::mem {
+namespace {
+
+std::string sysfs_fixture(const std::string& rel) {
+  return std::string(FHP_TEST_FIXTURE_DIR) + "/sysfs/" + rel;
+}
+
+/// A synthetic single-node inventory with one 2 MiB pool.
+std::vector<NodeHugePools> one_node_2m(std::size_t nr, std::size_t free) {
+  HugetlbPool p;
+  p.page_bytes = kPage2M;
+  p.nr_hugepages = nr;
+  p.free_hugepages = free;
+  return {{0, {p}}};
+}
+
+/// Config over synthetic inventory; THP tier present via the fixture.
+PagePoolConfig synthetic_config(std::vector<NodeHugePools> inventory,
+                                bool thp = true) {
+  PagePoolConfig cfg;
+  cfg.inventory = std::move(inventory);
+  cfg.hugepages_root = "/flashhp-nonexistent";
+  cfg.node_root = "/flashhp-nonexistent";
+  cfg.thp_root = thp ? sysfs_fixture("thp") : "/flashhp-nonexistent";
+  return cfg;
+}
+
+/// CounterSink that accumulates every published delta.
+class RecordingSink final : public perf::CounterSink {
+ public:
+  void sink_counters(const perf::CounterSet& delta) noexcept override {
+    totals_ += delta;
+  }
+  [[nodiscard]] std::uint64_t operator[](perf::Event e) const noexcept {
+    return totals_[e];
+  }
+
+ private:
+  perf::CounterSet totals_;
+};
+
+// ---------------------------------------------------------------- numa.hpp
+
+TEST(NodeInventory, ReadsPerNodeFixtureTree) {
+  const auto nodes = node_hugetlb_pools(sysfs_fixture("two-node"));
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].node, 0);
+  ASSERT_EQ(nodes[0].pools.size(), 1u);
+  EXPECT_EQ(nodes[0].pools[0].page_bytes, kPage2M);
+  EXPECT_EQ(nodes[0].pools[0].nr_hugepages, 4u);
+  EXPECT_EQ(nodes[0].pools[0].free_hugepages, 0u);
+
+  EXPECT_EQ(nodes[1].node, 1);
+  ASSERT_EQ(nodes[1].pools.size(), 2u);  // sorted by page size: 2M then 1G
+  EXPECT_EQ(nodes[1].pools[0].page_bytes, kPage2M);
+  EXPECT_EQ(nodes[1].pools[0].free_hugepages, 32u);
+  EXPECT_EQ(nodes[1].pools[1].page_bytes, kPage1G);
+  EXPECT_EQ(nodes[1].pools[1].free_hugepages, 1u);
+}
+
+TEST(NodeInventory, MissingRootYieldsEmpty) {
+  EXPECT_TRUE(node_hugetlb_pools("/flashhp-nonexistent").empty());
+}
+
+TEST(NodeInventory, ParseNodeDirname) {
+  EXPECT_EQ(parse_node_dirname("node0"), 0);
+  EXPECT_EQ(parse_node_dirname("node17"), 17);
+  EXPECT_FALSE(parse_node_dirname("node").has_value());
+  EXPECT_FALSE(parse_node_dirname("cpu0").has_value());
+  EXPECT_FALSE(parse_node_dirname("nodeX").has_value());
+}
+
+TEST(PlacementPolicyNames, RoundTripAndAliases) {
+  EXPECT_EQ(to_string(PlacementPolicy::kLocalFirst), "local-first");
+  EXPECT_EQ(to_string(PlacementPolicy::kRemoteHugeFirst), "remote-huge-first");
+  EXPECT_EQ(parse_placement_policy("local-first"),
+            PlacementPolicy::kLocalFirst);
+  EXPECT_EQ(parse_placement_policy("Remote-Huge-First"),
+            PlacementPolicy::kRemoteHugeFirst);
+  EXPECT_EQ(parse_placement_policy("remote"),
+            PlacementPolicy::kRemoteHugeFirst);
+  EXPECT_FALSE(parse_placement_policy("nearest").has_value());
+}
+
+// ---------------------------------------------------------- pool spec knob
+
+TEST(PoolSpec, OffAndCountsAndExplicitSizes) {
+  bool enabled = true;
+  std::vector<PoolReservation> res;
+
+  parse_pool_spec("off", enabled, res);
+  EXPECT_FALSE(enabled);
+  EXPECT_TRUE(res.empty());
+
+  parse_pool_spec("16", enabled, res);
+  EXPECT_TRUE(enabled);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].page_bytes, kPage2M);
+  EXPECT_EQ(res[0].pages, 16u);
+
+  parse_pool_spec("2M:4,1G:1", enabled, res);
+  EXPECT_TRUE(enabled);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].page_bytes, kPage2M);
+  EXPECT_EQ(res[0].pages, 4u);
+  EXPECT_EQ(res[1].page_bytes, kPage1G);
+  EXPECT_EQ(res[1].pages, 1u);
+}
+
+TEST(PoolSpec, JunkThrowsConfigError) {
+  bool enabled = true;
+  std::vector<PoolReservation> res;
+  EXPECT_THROW(parse_pool_spec("2M", enabled, res), ConfigError);
+  EXPECT_THROW(parse_pool_spec("2M:x", enabled, res), ConfigError);
+  EXPECT_THROW(parse_pool_spec("3Q:4", enabled, res), ConfigError);
+}
+
+// ------------------------------------------------------- lifecycle contracts
+
+TEST(PagePoolLifecycle, DoubleInitThrows) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  EXPECT_THROW(pool.init(synthetic_config(one_node_2m(4, 4))), ConfigError);
+}
+
+TEST(PagePoolLifecycle, UseAfterFiniThrows) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  pool.fini();
+  EXPECT_THROW((void)pool.plan(kPage2M, HugePolicy::kHugetlbfs), ConfigError);
+  EXPECT_THROW((void)pool.alloc(kPage2M, HugePolicy::kNone), ConfigError);
+  EXPECT_THROW(pool.init(synthetic_config(one_node_2m(4, 4))), ConfigError);
+}
+
+TEST(PagePoolLifecycle, FiniContracts) {
+  PagePool never_inited;
+  EXPECT_THROW(never_inited.fini(), ConfigError);
+
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  pool.fini();
+  EXPECT_NO_THROW(pool.fini());  // idempotent once finished
+}
+
+TEST(PagePoolLifecycle, StatusValidInAnyState) {
+  PagePool pool;
+  EXPECT_EQ(pool.status().state, "idle");
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  EXPECT_EQ(pool.status().state, "ready");
+  pool.fini();
+  EXPECT_EQ(pool.status().state, "finished");
+}
+
+// ------------------------------------------------------- degradation ladder
+
+TEST(PagePoolDegradation, HealthyPoolPlacesLocalHuge) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  const PoolDecision d = pool.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d.tier, Backing::kHugetlbfs);
+  EXPECT_EQ(d.page_bytes, kPage2M);
+  EXPECT_EQ(d.node, 0);
+  EXPECT_FALSE(d.remote);
+  EXPECT_STREQ(d.reason, "local-huge");
+  EXPECT_EQ(pool.counters().huge_allocs, 1u);
+  EXPECT_EQ(pool.counters().exhausted_events, 0u);
+}
+
+TEST(PagePoolDegradation, ExhaustedPoolFallsToThpThenBase) {
+  // THP tier available: exhaustion degrades to THP.
+  PagePool with_thp;
+  with_thp.init(synthetic_config(one_node_2m(4, 0), /*thp=*/true));
+  const PoolDecision d1 = with_thp.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d1.tier, Backing::kThp);
+  EXPECT_STREQ(d1.reason, "pool-exhausted->thp");
+  EXPECT_EQ(with_thp.counters().exhausted_events, 1u);
+  EXPECT_EQ(with_thp.counters().thp_fallbacks, 1u);
+  EXPECT_EQ(with_thp.counters().base_fallbacks, 0u);
+
+  // No THP tier: exhaustion degrades all the way to base pages.
+  PagePool no_thp;
+  no_thp.init(synthetic_config(one_node_2m(4, 0), /*thp=*/false));
+  const PoolDecision d2 = no_thp.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d2.tier, Backing::kSmallPages);
+  EXPECT_STREQ(d2.reason, "pool-exhausted->base");
+  EXPECT_EQ(no_thp.counters().exhausted_events, 1u);
+  EXPECT_EQ(no_thp.counters().base_fallbacks, 1u);
+}
+
+TEST(PagePoolDegradation, MirrorDecrementsUntilExhaustion) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(2, 2)));
+  EXPECT_EQ(pool.plan(kPage2M, HugePolicy::kHugetlbfs).tier,
+            Backing::kHugetlbfs);
+  EXPECT_EQ(pool.plan(kPage2M, HugePolicy::kHugetlbfs).tier,
+            Backing::kHugetlbfs);
+  // Third request: mirror is dry even though sysfs never changed.
+  const PoolDecision d = pool.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d.tier, Backing::kThp);
+  EXPECT_EQ(pool.counters().huge_allocs, 2u);
+  EXPECT_EQ(pool.counters().exhausted_events, 1u);
+  EXPECT_EQ(pool.status().inventory[0].pools[0].free_hugepages, 0u);
+}
+
+TEST(PagePoolDegradation, MultiPageRequestsAccountCorrectly) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(8, 3)));
+  // 5 MiB needs 3 x 2 MiB pages: exactly drains the pool.
+  const PoolDecision d = pool.plan(5ull << 20, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d.tier, Backing::kHugetlbfs);
+  EXPECT_EQ(pool.status().inventory[0].pools[0].free_hugepages, 0u);
+  EXPECT_EQ(pool.plan(kPage2M, HugePolicy::kHugetlbfs).tier, Backing::kThp);
+}
+
+TEST(PagePoolDegradation, ExplicitPoliciesBypassThePools) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  const PoolDecision none = pool.plan(kPage2M, HugePolicy::kNone);
+  EXPECT_EQ(none.tier, Backing::kSmallPages);
+  EXPECT_STREQ(none.reason, "policy=none");
+  const PoolDecision thp = pool.plan(kPage2M, HugePolicy::kThp);
+  EXPECT_EQ(thp.tier, Backing::kThp);
+  // Neither touched the hugetlb mirror or the counters.
+  EXPECT_EQ(pool.counters().huge_allocs, 0u);
+  EXPECT_EQ(pool.status().inventory[0].pools[0].free_hugepages, 4u);
+}
+
+TEST(PagePoolDegradation, DisabledPoolIsPassThrough) {
+  PagePoolConfig cfg = synthetic_config(one_node_2m(4, 4));
+  cfg.enabled = false;
+  PagePool pool;
+  pool.init(cfg);
+  const PoolDecision d = pool.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_STREQ(d.reason, "pool-disabled");
+  EXPECT_EQ(pool.counters().huge_allocs, 0u);
+  EXPECT_EQ(pool.status().inventory[0].pools[0].free_hugepages, 4u);
+}
+
+// ----------------------------------------------------------- NUMA placement
+
+TEST(PagePoolPlacement, LocalFirstDegradesRatherThanLeavingTheNode) {
+  PagePoolConfig cfg = synthetic_config({});
+  cfg.node_root = sysfs_fixture("two-node");
+  cfg.inventory.clear();
+  cfg.local_node = 0;
+  cfg.placement = PlacementPolicy::kLocalFirst;
+  PagePool pool;
+  pool.init(cfg);
+  // node0's pool is dry (fixture: 0/4 free); local-first never looks at
+  // node1's 32 free pages.
+  const PoolDecision d = pool.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d.tier, Backing::kThp);
+  EXPECT_STREQ(d.reason, "pool-exhausted->thp");
+  EXPECT_EQ(pool.counters().remote_huge_allocs, 0u);
+}
+
+TEST(PagePoolPlacement, RemoteHugeFirstTakesTheRemotePool) {
+  PagePoolConfig cfg = synthetic_config({});
+  cfg.node_root = sysfs_fixture("two-node");
+  cfg.inventory.clear();
+  cfg.local_node = 0;
+  cfg.placement = PlacementPolicy::kRemoteHugeFirst;
+  PagePool pool;
+  pool.init(cfg);
+  const PoolDecision d = pool.plan(kPage2M, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d.tier, Backing::kHugetlbfs);
+  EXPECT_EQ(d.page_bytes, kPage2M);
+  EXPECT_EQ(d.node, 1);
+  EXPECT_TRUE(d.remote);
+  EXPECT_STREQ(d.reason, "remote-huge");
+  EXPECT_EQ(pool.counters().huge_allocs, 1u);
+  EXPECT_EQ(pool.counters().remote_huge_allocs, 1u);
+}
+
+TEST(PagePoolPlacement, LargeRequestUsesTheRemoteGiganticPool) {
+  PagePoolConfig cfg = synthetic_config({});
+  cfg.node_root = sysfs_fixture("two-node");
+  cfg.inventory.clear();
+  cfg.local_node = 0;
+  cfg.placement = PlacementPolicy::kRemoteHugeFirst;
+  PagePool pool;
+  pool.init(cfg);
+  // 512 MiB needs 256 x 2 MiB (node1 has 32 free) but fits the one free
+  // 1 GiB gigantic page.
+  const PoolDecision d = pool.plan(512ull << 20, HugePolicy::kHugetlbfs);
+  EXPECT_EQ(d.tier, Backing::kHugetlbfs);
+  EXPECT_EQ(d.page_bytes, kPage1G);
+  EXPECT_EQ(d.node, 1);
+  EXPECT_TRUE(d.remote);
+}
+
+TEST(PagePoolPlacement, AsymmetricInventoryDrainsNodeByNode) {
+  // node0 has 1 free page, node1 has 2: remote-huge-first uses the local
+  // page first, then crosses over, then degrades.
+  HugetlbPool local;
+  local.page_bytes = kPage2M;
+  local.nr_hugepages = 4;
+  local.free_hugepages = 1;
+  HugetlbPool remote = local;
+  remote.free_hugepages = 2;
+  PagePoolConfig cfg = synthetic_config({{0, {local}}, {1, {remote}}});
+  cfg.placement = PlacementPolicy::kRemoteHugeFirst;
+  PagePool pool;
+  pool.init(cfg);
+
+  EXPECT_FALSE(pool.plan(kPage2M, HugePolicy::kHugetlbfs).remote);
+  EXPECT_TRUE(pool.plan(kPage2M, HugePolicy::kHugetlbfs).remote);
+  EXPECT_TRUE(pool.plan(kPage2M, HugePolicy::kHugetlbfs).remote);
+  EXPECT_EQ(pool.plan(kPage2M, HugePolicy::kHugetlbfs).tier, Backing::kThp);
+  const PoolCounters c = pool.counters();
+  EXPECT_EQ(c.huge_allocs, 3u);
+  EXPECT_EQ(c.remote_huge_allocs, 2u);
+  EXPECT_EQ(c.exhausted_events, 1u);
+}
+
+// ------------------------------------------------------------ status report
+
+TEST(PagePoolStatus, HugectlStyleText) {
+  PagePoolConfig cfg = synthetic_config({});
+  cfg.node_root = sysfs_fixture("two-node");
+  cfg.inventory.clear();
+  cfg.placement = PlacementPolicy::kRemoteHugeFirst;
+  PagePool pool;
+  pool.init(cfg);
+  (void)pool.plan(kPage2M, HugePolicy::kHugetlbfs);
+
+  const std::string expected =
+      "page pool: ready placement=remote-huge-first local-node=0 "
+      "thp=available\n"
+      "  node0:\n"
+      "    2.0 MiB pages: 0/4 free\n"
+      "  node1:\n"
+      "    2.0 MiB pages: 31/64 free\n"
+      "    1.0 GiB pages: 1/2 free\n"
+      "  allocs: huge=1 remote-huge=1 thp-fallback=0 base-fallback=0 "
+      "exhausted=0 shortfall=0\n";
+  EXPECT_EQ(pool.status_text(), expected);
+}
+
+TEST(PagePoolStatus, EmptyInventoryText) {
+  PagePool pool;
+  pool.init(synthetic_config({}));
+  const std::string text = pool.status_text();
+  EXPECT_NE(text.find("(no hugetlb pools configured)"), std::string::npos);
+}
+
+// ----------------------------------------------------------- counter events
+
+TEST(PagePoolEvents, PublishedToTheConfiguredSink) {
+  RecordingSink sink;
+  HugetlbPool local;
+  local.page_bytes = kPage2M;
+  local.nr_hugepages = 2;
+  local.free_hugepages = 1;
+  HugetlbPool remote = local;
+  PagePoolConfig cfg = synthetic_config({{0, {local}}, {1, {remote}}});
+  cfg.placement = PlacementPolicy::kRemoteHugeFirst;
+  cfg.sink = &sink;
+  PagePool pool;
+  pool.init(cfg);
+
+  (void)pool.plan(kPage2M, HugePolicy::kHugetlbfs);  // local huge
+  (void)pool.plan(kPage2M, HugePolicy::kHugetlbfs);  // remote huge
+  (void)pool.plan(kPage2M, HugePolicy::kHugetlbfs);  // exhausted -> thp
+
+  EXPECT_EQ(sink[perf::Event::kPoolHugeAllocs], 2u);
+  EXPECT_EQ(sink[perf::Event::kPoolRemoteAllocs], 1u);
+  EXPECT_EQ(sink[perf::Event::kPoolThpFallbacks], 1u);
+  EXPECT_EQ(sink[perf::Event::kPoolBaseFallbacks], 0u);
+}
+
+// ------------------------------------------------- real mappings (alloc())
+
+TEST(PagePoolAlloc, NeverCrashesAndCountsShortfalls) {
+  // The synthetic inventory claims free 2 MiB pages; on an unprivileged
+  // container the kernel will refuse MAP_HUGETLB. The contract: the
+  // allocation still succeeds (degraded by MappedRegion's own ladder),
+  // and the decision/backing mismatch is counted, never hidden.
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  PoolAllocation a = pool.alloc(kPage2M, HugePolicy::kHugetlbfs);
+  ASSERT_TRUE(a.valid());
+  ASSERT_NE(a.data(), nullptr);
+  EXPECT_GE(a.size(), kPage2M);
+  EXPECT_EQ(a.decision().tier, Backing::kHugetlbfs);
+  static_cast<char*>(a.data())[0] = 1;  // writable
+  if (a.backing() != Backing::kHugetlbfs) {
+    EXPECT_EQ(pool.counters().backing_shortfalls, 1u);
+  } else {
+    EXPECT_EQ(pool.counters().backing_shortfalls, 0u);
+  }
+}
+
+TEST(PagePoolAlloc, DecidedFallbackSkipsTheHugetlbAttempt) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 0)));  // dry -> decided THP
+  PoolAllocation a = pool.alloc(kPage2M, HugePolicy::kHugetlbfs);
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(a.decision().tier, Backing::kThp);
+  // The mapping was requested as THP, not hugetlbfs: requested_policy
+  // records what was actually asked of the kernel.
+  EXPECT_EQ(a.region().requested_policy(), HugePolicy::kThp);
+}
+
+TEST(PagePoolAlloc, MovedFromAllocationIsEmpty) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(4, 4)));
+  PoolAllocation a = pool.alloc(kPage2M, HugePolicy::kNone);
+  PoolAllocation b = std::move(a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move) -- contract
+  EXPECT_STREQ(a.decision().reason, "");
+  EXPECT_EQ(a.decision().tier, Backing::kSmallPages);
+}
+
+// ---------------------------------------------- carving (Arena, HugeBuffer)
+
+TEST(PagePoolCarving, ArenaChunksComeFromTheExplicitPool) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(64, 64)));
+  Arena arena(HugePolicy::kHugetlbfs, kPage2M, &pool);
+  void* p = arena.allocate(1024);
+  ASSERT_NE(p, nullptr);
+  const ArenaStats stats = arena.stats();
+  EXPECT_EQ(stats.chunk_count, 1u);
+  // The pool recorded the decision regardless of what the kernel granted.
+  EXPECT_EQ(pool.counters().huge_allocs, 1u);
+  EXPECT_NE(arena.report().find("pool decision"), std::string::npos);
+}
+
+TEST(PagePoolCarving, ArenaCountsRemoteChunks) {
+  HugetlbPool dry;
+  dry.page_bytes = kPage2M;
+  dry.nr_hugepages = 4;
+  dry.free_hugepages = 0;
+  HugetlbPool full = dry;
+  full.free_hugepages = 16;
+  PagePoolConfig cfg = synthetic_config({{0, {dry}}, {1, {full}}});
+  cfg.placement = PlacementPolicy::kRemoteHugeFirst;
+  PagePool pool;
+  pool.init(cfg);
+  Arena arena(HugePolicy::kHugetlbfs, kPage2M, &pool);
+  (void)arena.allocate(1024);
+  EXPECT_EQ(arena.stats().remote_chunks, 1u);
+}
+
+TEST(PagePoolCarving, HugeBufferExposesItsDecision) {
+  PagePool pool;
+  pool.init(synthetic_config(one_node_2m(16, 16)));
+  HugeBuffer<double> buf(1024, HugePolicy::kHugetlbfs, pool);
+  EXPECT_EQ(buf.size(), 1024u);
+  buf[0] = 1.5;
+  EXPECT_EQ(buf[0], 1.5);
+  EXPECT_EQ(buf.allocation().decision().tier, Backing::kHugetlbfs);
+  EXPECT_TRUE(buf.region().valid());
+}
+
+}  // namespace
+}  // namespace fhp::mem

@@ -16,7 +16,13 @@ tree that only emerge from whole-file or whole-graph views:
                     tlb reaching into perf, mesh reaching into obs) that
                     the PR's dependency inversions removed. Modules inside
                     the braces are peers — edges between them are legal as
-                    long as they stay acyclic.
+                    long as they stay acyclic. Downward edges are always
+                    legal; the load-bearing one is tlb -> mem: the NUMA
+                    placement vocabulary (NodeHugePools, PlacementPolicy,
+                    PoolDecision) lives in mem/numa.hpp, and
+                    tlb::Machine::apply_placement() consumes it. mem must
+                    never include tlb back — that would be the upward edge
+                    this rule exists to stop.
 
   layer-cycle       any cycle in the module-granularity include graph is
                     an error, reported at every include line that forms an
@@ -453,6 +459,14 @@ SELF_TEST_FILES: dict[str, tuple[str, dict[str, int]]] = {
     # Peer edge is legal on its own (hydro -> eos)...
     "src/hydro/peer_edge.cpp": (
         '#include "eos/eos_types.hpp"\n'
+        'void touch() {}\n',
+        {},
+    ),
+    # Downward edge is legal: tlb consumes mem's placement vocabulary
+    # (mem/numa.hpp) — the seam behind Machine::apply_placement(). Only
+    # the reverse direction (mem including tlb) would be a finding.
+    "src/tlb/placement_edge.cpp": (
+        '#include "mem/numa.hpp"\n'
         'void touch() {}\n',
         {},
     ),

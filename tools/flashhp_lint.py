@@ -7,11 +7,14 @@ The compiler cannot check the conventions that prevent that class of bug,
 so this linter does:
 
   raw-mmap            mmap/munmap/madvise/mremap/mprotect (and
-                      <sys/mman.h>) are allowed only under src/mem/ — the
-                      one place where page-regime decisions live and are
+                      <sys/mman.h>) are allowed only in
+                      src/mem/mapped_region.* and src/mem/thp.* — the two
+                      files where page-regime decisions are made and
                       *verified* (MappedRegion records what it actually
-                      got). A raw mmap elsewhere is exactly the unverified
-                      allocation the paper warns about.
+                      got). A raw mmap anywhere else — including the rest
+                      of src/mem (PagePool, Arena, allocator compose the
+                      seam, they must not reopen it) — is exactly the
+                      unverified allocation the paper warns about.
 
   page-size-literal   magic page-size constants (4096, 65536, 2097152,
                       536870912, 1073741824, or any `N << S` spelling of
@@ -90,7 +93,8 @@ ALLOW_FILE_RE = re.compile(
     r"fhp-lint:\s*allow-file\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 RULES = {
-    "raw-mmap": "raw mmap/munmap/madvise/... outside src/mem",
+    "raw-mmap": "raw mmap/munmap/madvise/... outside mem/mapped_region + "
+                "mem/thp",
     "page-size-literal": "magic page-size literal outside src/mem/page_size.*",
     "bulk-alloc": "malloc/new[] bulk allocation in mesh/hydro/eos",
     "include-hygiene": "#pragma once, module-qualified non-relative includes",
@@ -300,6 +304,15 @@ class Linter:
     def _is_mem(self, path: pathlib.Path) -> bool:
         return self._under(path, "mem")
 
+    def _is_mmap_scope(self, path: pathlib.Path) -> bool:
+        # The raw-mmap seam is narrower than src/mem: only MappedRegion
+        # (the mapping ladder) and thp (the madvise helpers) may touch the
+        # syscalls. Everything else in mem — PagePool, Arena, allocator —
+        # composes those two, so a new mmap there is as suspect as one in
+        # src/hydro.
+        return self._under(path, "mem") and \
+            path.stem in ("mapped_region", "thp")
+
     def _is_page_size(self, path: pathlib.Path) -> bool:
         return self._under(path, "mem") and path.stem == "page_size"
 
@@ -350,7 +363,7 @@ class Linter:
                 return
             self.violations.append(Violation(path, lineno, rule, message))
 
-        in_mem = self._is_mem(path)
+        in_mmap_scope = self._is_mmap_scope(path)
         in_page_size = self._is_page_size(path)
         in_bulk = self._is_bulk_scope(path)
         in_singleton_shim = self._is_singleton_shim(path)
@@ -404,16 +417,18 @@ class Linter:
                            f'include "{inc}" does not resolve under src/')
 
             # ---- raw mmap family -------------------------------------
-            if not in_mem:
+            if not in_mmap_scope:
                 m = MMAP_CALL_RE.search(code)
                 if m:
                     report(lineno, "raw-mmap",
-                           f"raw {m.group(1)}() call outside src/mem — go "
-                           f"through mem::MappedRegion / mem::Arena so the "
+                           f"raw {m.group(1)}() call outside "
+                           f"mem/mapped_region + mem/thp — go through "
+                           f"mem::MappedRegion / mem::PagePool so the "
                            f"page regime is tracked and verified")
                 if MMAN_INCLUDE_RE.search(include_line):
                     report(lineno, "raw-mmap",
-                           "<sys/mman.h> included outside src/mem")
+                           "<sys/mman.h> included outside "
+                           "mem/mapped_region + mem/thp")
 
             # ---- magic page-size literals ----------------------------
             if not in_page_size:
@@ -499,6 +514,23 @@ SELF_TEST_FILES = {
         '  return mmap(nullptr, n, 3, 0x22, -1, 0);\n'
         '}\n',
         {"raw-mmap": 2},
+    ),
+    # src/mem is NOT a blanket license: PagePool composes MappedRegion and
+    # must never reopen the mmap seam itself.
+    "src/mem/page_pool.cpp": (
+        '#include <sys/mman.h>\n'
+        'void* grab(unsigned long n) {\n'
+        '  return mmap(nullptr, n, 3, 0x22, -1, 0);\n'
+        '}\n',
+        {"raw-mmap": 2},
+    ),
+    # ...while the two seam files keep their license.
+    "src/mem/mapped_region.cpp": (
+        '#include <sys/mman.h>\n'
+        'void* grab(unsigned long n) {\n'
+        '  return mmap(nullptr, n, 3, 0x22, -1, 0);\n'
+        '}\n',
+        {},
     ),
     "src/eos/bad_literal.cpp": (
         'unsigned long table_bytes() {\n'
