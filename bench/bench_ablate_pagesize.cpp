@@ -29,6 +29,7 @@
 #include "mem/huge_policy.hpp"
 #include "mem/page_pool.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "rt/runtime.hpp"
 #include "support/table_writer.hpp"
 #include "tlb/machine.hpp"
 #include "tlb/trace.hpp"
@@ -148,7 +149,9 @@ int main(int argc, char** argv) {
   config.maxblocks = 80;
   config.max_level = 2;
   config.nroot = {2, 2, 2};
-  mesh::AmrMesh mesh(config, mem::HugePolicy::kNone);
+  rt::Runtime& runtime = rt::Runtime::process_default();
+  mesh::AmrMesh mesh(config, mem::HugePolicy::kNone, runtime.layout(),
+                     runtime.page_pool());
   // Refine everything once so the mesh has 64 leaves (~75 MiB of unk).
   for (int b : mesh.tree().leaves_morton()) {
     mesh.refine_block(b);

@@ -17,11 +17,16 @@
 #include "mem/mapped_region.hpp"
 #include "mem/meminfo.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "rt/runtime.hpp"
 #include "tlb/machine.hpp"
 
 namespace {
 
 using namespace fhp;
+
+// Shared execution context for mesh/table construction; the kernels
+// measured here are context-independent.
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 void BM_ArenaAllocate(benchmark::State& state) {
   mem::Arena arena(mem::HugePolicy::kNone, 16ull << 20);
@@ -94,7 +99,7 @@ std::shared_ptr<const eos::HelmTable> micro_table() {
   static auto table = std::make_shared<eos::HelmTable>(
       eos::HelmTable::build_or_load(eos::HelmTableSpec{},
                                     mem::HugePolicy::kNone,
-                                    "helm_table.bin"));
+                                    proc().page_pool(), "helm_table.bin"));
   return table;
 }
 
@@ -151,7 +156,8 @@ void BM_GuardcellFill(benchmark::State& state) {
   config.nscalars = 2;
   config.maxblocks = 128;
   config.max_level = 3;
-  mesh::AmrMesh mesh(config, mem::HugePolicy::kNone);
+  mesh::AmrMesh mesh(config, mem::HugePolicy::kNone, proc().layout(),
+                     proc().page_pool());
   for (int b : mesh.tree().leaves_morton()) mesh.refine_block(b);
   for (auto _ : state) {
     mesh.fill_guardcells();

@@ -33,6 +33,7 @@
 #include "obs/sampler.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timeline.hpp"
+#include "rt/runtime.hpp"
 #include "support/runtime_params.hpp"
 
 namespace {
@@ -42,12 +43,19 @@ namespace {
 /// and the serial tracing/commit work would otherwise dilute the
 /// reported parallel-sweep speedup.
 double run_hydro_scan_arm(fhp::bench::ExperimentArm& arm, fhp::sim::ExecMode mode,
-                          int nsteps, int max_level, int sample) {
+                          int nsteps, int max_level, int sample,
+                          int threads) {
   using namespace fhp;
+  // Each scan run is a tenant: its own Runtime (explicit lane count)
+  // carving from the shared process pool.
+  rt::RuntimeOptions ropt;
+  ropt.lanes = threads;
+  ropt.pool = &rt::Runtime::process_default().page_pool();
+  rt::Runtime runtime(ropt);
   sim::SedovParams params;
   params.max_level = max_level;
   params.maxblocks = 700;
-  sim::SedovSetup setup(params, mem::HugePolicy::kNone);
+  sim::SedovSetup setup(params, mem::HugePolicy::kNone, runtime);
   hydro::HydroOptions hopt;
   hopt.cfl = 0.6;
   hydro::HydroSolver hydro(setup.mesh(), setup.eos(), hopt);
@@ -56,7 +64,9 @@ double run_hydro_scan_arm(fhp::bench::ExperimentArm& arm, fhp::sim::ExecMode mod
   dopt.trace_sample = sample;
   dopt.verbose = false;
   dopt.exec_mode = mode;
-  sim::Driver driver(setup.mesh(), hydro, arm.timers(), dopt, arm.units());
+  sim::DriverUnits units = arm.units();
+  units.runtime = &runtime;
+  sim::Driver driver(setup.mesh(), hydro, arm.timers(), dopt, units);
   const auto t0 = std::chrono::steady_clock::now();
   driver.evolve();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -69,14 +79,14 @@ int run_thread_scan(const std::string& path, int nsteps, int max_level,
   using namespace fhp;
   const std::vector<bench::ScanArm> arms = {
       {"bulk_sync",
-       [&](bench::ExperimentArm& arm, int /*threads*/) {
+       [&](bench::ExperimentArm& arm, int threads) {
          return run_hydro_scan_arm(arm, sim::ExecMode::kBulkSync, nsteps,
-                                   max_level, sample);
+                                   max_level, sample, threads);
        }},
       {"task_graph",
-       [&](bench::ExperimentArm& arm, int /*threads*/) {
+       [&](bench::ExperimentArm& arm, int threads) {
          return run_hydro_scan_arm(arm, sim::ExecMode::kTaskGraph, nsteps,
-                                   max_level, sample);
+                                   max_level, sample, threads);
        }},
   };
   return bench::run_thread_scan(path, "table2_hydro", arms,

@@ -13,6 +13,7 @@
 #include "experiment_common.hpp"
 #include "hydro/hydro.hpp"
 #include "par/parallel.hpp"
+#include "rt/runtime.hpp"
 #include "sim/sedov.hpp"
 #include "sim/supernova.hpp"
 
@@ -22,14 +23,20 @@ namespace fhp::bench {
 inline ArmResult run_eos_arm(mem::HugePolicy policy, int nsteps,
                              int max_level, int sample,
                              int threads = par::threads()) {
-  par::set_threads(threads);
+  // Each arm is a tenant: its own Runtime (explicit lane count) carving
+  // from the shared process pool, so back-to-back arms reuse the same
+  // huge-page inventory.
+  rt::RuntimeOptions ropt;
+  ropt.lanes = threads;
+  ropt.pool = &rt::Runtime::process_default().page_pool();
+  rt::Runtime runtime(ropt);
   ExperimentArm arm;
 
   sim::SupernovaParams params;
   params.max_level = max_level;
   params.maxblocks = 1500;
   params.table_cache = "helm_table.bin";
-  sim::SupernovaSetup setup(params, policy);
+  sim::SupernovaSetup setup(params, policy, runtime);
 
   mesh::AmrMesh& mesh = setup.mesh();
   hydro::HydroOptions hopt;
@@ -44,6 +51,7 @@ inline ArmResult run_eos_arm(mem::HugePolicy policy, int nsteps,
   dopt.refine_vars = {mesh::var::kDens,
                       mesh::var::kFirstScalar + sim::snvar::kPhi};
   sim::DriverUnits units = arm.units();
+  units.runtime = &runtime;
   units.flame = &setup.flame();
   units.gravity = &setup.gravity();
   units.eos_trace =
@@ -64,13 +72,16 @@ inline ArmResult run_eos_arm(mem::HugePolicy policy, int nsteps,
 inline ArmResult run_hydro_arm(mem::HugePolicy policy, int nsteps,
                                int max_level, int sample,
                                int threads = par::threads()) {
-  par::set_threads(threads);
+  rt::RuntimeOptions ropt;
+  ropt.lanes = threads;
+  ropt.pool = &rt::Runtime::process_default().page_pool();
+  rt::Runtime runtime(ropt);
   ExperimentArm arm;
 
   sim::SedovParams params;
   params.max_level = max_level;
   params.maxblocks = 700;
-  sim::SedovSetup setup(params, policy);
+  sim::SedovSetup setup(params, policy, runtime);
 
   mesh::AmrMesh& mesh = setup.mesh();
   hydro::HydroOptions hopt;
@@ -82,6 +93,7 @@ inline ArmResult run_hydro_arm(mem::HugePolicy policy, int nsteps,
   dopt.trace_sample = sample;
   dopt.verbose = false;
   sim::DriverUnits units = arm.units();
+  units.runtime = &runtime;
   units.eos_trace = [&mesh](tlb::Tracer& t, int b) {
     const mesh::MeshConfig& c = mesh.config();
     mesh.unk().trace_sweep(t, b, c.ilo(), c.ihi(), c.jlo(), c.jhi(), c.klo(),

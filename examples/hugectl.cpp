@@ -25,6 +25,7 @@
 #include "mem/page_size.hpp"
 #include "mem/thp.hpp"
 #include "mem/vmstat.hpp"
+#include "rt/runtime.hpp"
 #include "support/string_util.hpp"
 
 namespace {
@@ -72,7 +73,9 @@ int cmd_pool(const std::string& count_text) {
 }
 
 int cmd_pool_status() {
-  mem::PagePool& pool = mem::global_page_pool();
+  // The process-default runtime owns the pool this tool administers
+  // (simulation tenants each carve from their own runtime's pool).
+  mem::PagePool& pool = rt::Runtime::process_default().page_pool();
   if (pool.status().state == "idle") {
     pool.init(mem::config_from_environment());
   }

@@ -6,7 +6,8 @@
 ///      runtime's XOS_MMM_L_HPAGE_TYPE),
 ///   2. allocate a mesh on it and *verify* the backing via /proc (the
 ///      paper's methodology),
-///   3. pick a lane count for the block-parallel sweeps (FLASHHP_THREADS),
+///   3. build the rt::Runtime execution context the simulation runs in
+///      (lane count from FLASHHP_THREADS, layout from FLASHHP_LAYOUT),
 ///   4. run a small Sedov explosion and print the FLASH-style timer
 ///      summary.
 ///
@@ -17,8 +18,8 @@
 #include "hydro/hydro.hpp"
 #include "mem/huge_policy.hpp"
 #include "mem/meminfo.hpp"
-#include "par/parallel.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/driver.hpp"
 #include "sim/sedov.hpp"
 
@@ -29,14 +30,20 @@ int main() {
   const mem::HugePolicy policy = mem::policy_from_environment();
   std::cout << "huge-page policy: " << mem::to_string(policy) << "\n";
 
-  // 2. A small 2-d Sedov problem; the mesh's unk container lives on the
-  //    chosen policy.
+  // 2. The execution context: lane count from FLASHHP_THREADS (defaults
+  //    to 1 = serial), mesh layout from FLASHHP_LAYOUT, and a page pool
+  //    of its own. Every service the simulation uses hangs off this one
+  //    object — a second Runtime would be a second, independent tenant.
+  rt::Runtime runtime;
+
+  // 3. A small 2-d Sedov problem; the mesh's unk container lives on the
+  //    chosen policy, carved from the runtime's pool.
   sim::SedovParams params;
   params.ndim = 2;
   params.nzb = 1;
   params.max_level = 3;
   params.maxblocks = 300;
-  sim::SedovSetup setup(params, policy);
+  sim::SedovSetup setup(params, policy, runtime);
 
   const mem::MappedRegion& region = setup.mesh().unk().region();
   std::cout << "unk backing: " << region.describe() << "\n";
@@ -45,10 +52,9 @@ int main() {
   std::cout << "system: " << mem::MeminfoSnapshot::capture().summary()
             << "\n";
 
-  // 3. Lane count from FLASHHP_THREADS (defaults to 1 = serial). The
-  //    leaf-block sweeps run block-parallel; results are bit-identical
-  //    to the serial run at any lane count.
-  std::cout << "sweep threads: " << par::threads() << "\n";
+  //    The leaf-block sweeps run block-parallel on the runtime's lanes;
+  //    results are bit-identical to the serial run at any lane count.
+  std::cout << "sweep threads: " << runtime.lanes() << "\n";
 
   // 4. Evolve 30 steps and report.
   hydro::HydroSolver hydro(setup.mesh(), setup.eos());
@@ -57,7 +63,9 @@ int main() {
   opts.nsteps = 30;
   opts.trace_sample = 0;  // no machine model in the quickstart
   opts.verbose = false;
-  sim::Driver driver(setup.mesh(), hydro, timers, opts);
+  sim::DriverUnits units;
+  units.runtime = &runtime;
+  sim::Driver driver(setup.mesh(), hydro, timers, opts, units);
   driver.evolve();
 
   std::cout << "\nran " << driver.steps() << " steps to t = "

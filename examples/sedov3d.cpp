@@ -27,6 +27,7 @@
 #include "perf/perf_context.hpp"
 #include "perf/report.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/driver.hpp"
 #include "sim/profiles.hpp"
 #include "sim/sedov.hpp"
@@ -55,10 +56,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The execution context: built after the runtime params applied above,
+  // so its lane count honors --par.threads and its layout FLASHHP_LAYOUT.
+  rt::Runtime runtime;
+
   sim::SedovParams params;
   params.max_level = static_cast<int>(rp.get_int("max_level"));
   params.maxblocks = 700;
-  sim::SedovSetup setup(params, *policy);
+  sim::SedovSetup setup(params, *policy, runtime);
   std::cout << "unk: " << setup.mesh().unk().region().describe() << "\n";
 
   hydro::HydroSolver hydro(setup.mesh(), setup.eos());
@@ -70,6 +75,7 @@ int main(int argc, char** argv) {
   const bool trace = rp.get_bool("trace");
   opts.trace_sample = trace ? 4 : 0;
   sim::DriverUnits units;
+  units.runtime = &runtime;
   if (trace) {
     units.machine = &machine;
     units.perf = &perf;
@@ -81,8 +87,10 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::Telemetry> telemetry;
   std::unique_ptr<obs::Sampler> sampler;
   if (!timeline_path.empty()) {
-    telemetry = std::make_unique<obs::Telemetry>();
-    telemetry->install();  // ambient: driver spans route via support/trace
+    obs::TelemetryOptions topts;
+    topts.lanes = runtime.lanes();
+    telemetry = std::make_unique<obs::Telemetry>(topts);
+    telemetry->install(runtime);  // per-runtime: steps + lanes route here
     units.perf = &perf;
     obs::SamplerOptions sopts;
     sopts.cadence =

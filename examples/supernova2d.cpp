@@ -17,6 +17,7 @@
 #include "mem/huge_policy.hpp"
 #include "par/parallel.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/driver.hpp"
 #include "sim/profiles.hpp"
 #include "sim/supernova.hpp"
@@ -44,12 +45,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The execution context: built after the runtime params applied above,
+  // so its lane count honors --par.threads and its layout FLASHHP_LAYOUT.
+  rt::Runtime runtime;
+
   sim::SupernovaParams params;
   params.central_density = rp.get_real("rho_c");
   params.max_level = static_cast<int>(rp.get_int("max_level"));
   params.maxblocks = 1500;
   params.table_cache = "helm_table.bin";
-  sim::SupernovaSetup setup(params, *policy);
+  sim::SupernovaSetup setup(params, *policy, runtime);
 
   std::cout << "white dwarf: R = " << setup.wd().radius() / 1e5
             << " km, M = " << setup.wd().mass() / 1.98847e33 << " Msun\n";
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   opts.refine_vars = {mesh::var::kDens,
                       mesh::var::kFirstScalar + sim::snvar::kPhi};
   sim::DriverUnits units;
+  units.runtime = &runtime;
   units.flame = &setup.flame();
   units.gravity = &setup.gravity();
   sim::Driver driver(setup.mesh(), hydro, timers, opts, units);

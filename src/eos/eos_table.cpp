@@ -48,14 +48,16 @@ const HelmTableSpec& validated(const HelmTableSpec& spec) {
 
 }  // namespace
 
-HelmTable::HelmTable(const HelmTableSpec& spec, mem::HugePolicy policy)
+HelmTable::HelmTable(const HelmTableSpec& spec, mem::HugePolicy policy,
+                     mem::PagePool& pool)
     : spec_(validated(spec)),
       plane_elems_(static_cast<std::size_t>(spec.nrho) *
                    static_cast<std::size_t>(spec.ntemp)),
-      storage_(plane_elems_ * kNumPlanes, policy) {}
+      storage_(plane_elems_ * kNumPlanes, policy, pool) {}
 
-HelmTable HelmTable::build(const HelmTableSpec& spec, mem::HugePolicy policy) {
-  HelmTable table(spec, policy);
+HelmTable HelmTable::build(const HelmTableSpec& spec, mem::HugePolicy policy,
+                           mem::PagePool& pool) {
+  HelmTable table(spec, policy, pool);
   const HelmholtzEos direct;
 
   const double dlr = (spec.log_rho_max - spec.log_rho_min) / (spec.nrho - 1);
@@ -132,6 +134,7 @@ void HelmTable::save(const std::string& path) const {
 
 std::optional<HelmTable> HelmTable::load(const HelmTableSpec& spec,
                                          mem::HugePolicy policy,
+                                         mem::PagePool& pool,
                                          const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
@@ -144,7 +147,7 @@ std::optional<HelmTable> HelmTable::load(const HelmTableSpec& spec,
   in.read(reinterpret_cast<char*>(&file_spec), sizeof file_spec);
   if (!in || !(file_spec == spec)) return std::nullopt;
 
-  HelmTable table(spec, policy);
+  HelmTable table(spec, policy, pool);
   in.read(reinterpret_cast<char*>(table.storage_.data()),
           static_cast<std::streamsize>(table.storage_.size() *
                                        sizeof(double)));
@@ -154,14 +157,15 @@ std::optional<HelmTable> HelmTable::load(const HelmTableSpec& spec,
 
 HelmTable HelmTable::build_or_load(const HelmTableSpec& spec,
                                    mem::HugePolicy policy,
+                                   mem::PagePool& pool,
                                    const std::string& path) {
   if (!path.empty()) {
-    if (auto cached = load(spec, policy, path)) {
+    if (auto cached = load(spec, policy, pool, path)) {
       FHP_LOG(kInfo) << "helm table loaded from " << path;
       return std::move(*cached);
     }
   }
-  HelmTable table = build(spec, policy);
+  HelmTable table = build(spec, policy, pool);
   if (!path.empty()) {
     try {
       table.save(path);
@@ -273,7 +277,12 @@ void HelmTable::trace_interpolate(tlb::Tracer& tracer, double rho_ye,
   // interpolate() reads 4 planes per quantity group at the 4 cell corners.
   const std::size_t nplanes = full ? kNumPlanes : kEdt + 1;  // P* and E*
   for (std::size_t plane = 0; plane < nplanes; ++plane) {
-    const double* base = plane_data(static_cast<Plane>(plane));
+    // Fixed synthetic twin of plane_data(plane): same plane/row/corner
+    // offsets, placement-invariant base (see tlb::synthetic_scratch).
+    const double* base =
+        static_cast<const double*>(
+            tlb::synthetic_scratch(tlb::kHelmTableTraceSlot)) +
+        plane * plane_elems_;
     for (int b = 0; b < 2; ++b) {
       const double* row = base + static_cast<std::size_t>(c.j + b) *
                                      static_cast<std::size_t>(spec_.nrho) +
@@ -334,8 +343,11 @@ void HelmTableEos::trace_eval(tlb::Tracer& tracer, Mode mode,
   const int lookups = mode == Mode::kDensTemp ? 1 : 4;
   static constexpr double kNewtonPath[4] = {1.35, 0.92, 1.08, 1.0};
   // Scratch rows (eosData gathers) live on the ordinary heap: 4 KiB pages
-  // in both experiment arms, like FLASH's per-rank work arrays.
-  static thread_local double scratch[10][64];
+  // in both experiment arms, like FLASH's per-rank work arrays. Modeled
+  // at a fixed synthetic address so the stream is identical whichever
+  // thread replays it.
+  constexpr std::size_t kScratchRows = 10;
+  constexpr std::size_t kScratchRowBytes = 64 * sizeof(double);
   const std::uint8_t heap_shift = 12;
   const double tmin = std::pow(10.0, table_->spec().log_temp_min) * 1.001;
   const double tmax = std::pow(10.0, table_->spec().log_temp_max) * 0.999;
@@ -352,8 +364,10 @@ void HelmTableEos::trace_eval(tlb::Tracer& tracer, Mode mode,
     // Mode bookkeeping + ion/radiation terms + Newton update arithmetic.
     tracer.compute(250ull * static_cast<unsigned>(lookups), 0);
   }
-  for (auto& arr : scratch) {
-    tracer.touch(arr, sizeof arr, true, heap_shift);
+  for (std::size_t r = 0; r < kScratchRows; ++r) {
+    tracer.touch(tlb::synthetic_scratch(tlb::kEosRowScratchSlot,
+                                        r * kScratchRowBytes),
+                 kScratchRowBytes, true, heap_shift);
   }
 }
 

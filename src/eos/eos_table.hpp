@@ -59,18 +59,22 @@ struct EpInterp {
 /// The table itself (owning its storage).
 class HelmTable {
  public:
-  /// Build by direct evaluation over the grid (expensive).
-  static HelmTable build(const HelmTableSpec& spec, mem::HugePolicy policy);
+  /// Build by direct evaluation over the grid (expensive). Storage is
+  /// carved from \p pool — always explicit; runtime callers pass
+  /// `runtime.page_pool()`.
+  static HelmTable build(const HelmTableSpec& spec, mem::HugePolicy policy,
+                         mem::PagePool& pool);
 
   /// Load from \p path if it exists and matches \p spec; else build and
   /// save to \p path (best-effort; an unwritable path just skips caching).
   static HelmTable build_or_load(const HelmTableSpec& spec,
-                                 mem::HugePolicy policy,
+                                 mem::HugePolicy policy, mem::PagePool& pool,
                                  const std::string& path);
 
   /// Load only; nullopt if the file is missing or spec/version mismatch.
   static std::optional<HelmTable> load(const HelmTableSpec& spec,
                                        mem::HugePolicy policy,
+                                       mem::PagePool& pool,
                                        const std::string& path);
 
   /// Persist to a binary cache file. Throws fhp::SystemError on IO error.
@@ -117,7 +121,8 @@ class HelmTable {
   }
 
  private:
-  explicit HelmTable(const HelmTableSpec& spec, mem::HugePolicy policy);
+  HelmTable(const HelmTableSpec& spec, mem::HugePolicy policy,
+            mem::PagePool& pool);
 
   [[nodiscard]] const double* plane_data(Plane plane) const noexcept {
     return storage_.data() +

@@ -30,7 +30,7 @@ AdrFlame::AdrFlame(mesh::AmrMesh& mesh, const FlameSpeedTable& speeds,
 void AdrFlame::advance(double dt) {
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   begin_advance(leaves.size());
-  par::parallel_for(leaves.size(), [&](int lane, std::size_t n) {
+  mesh_.arena().parallel_for(leaves.size(), [&](int lane, std::size_t n) {
     RegionWitness witness;  // region lambda body: lane writer role
     advance_block_task(n, leaves[n], dt, lane);
   });
@@ -43,7 +43,7 @@ void AdrFlame::begin_advance(std::size_t nleaves) {
   // independent of the lane/timing in which blocks completed. Both
   // buffers persist across timesteps; the scratch is rebuilt only when
   // the lane count changes.
-  const auto lanes = static_cast<std::size_t>(par::threads());
+  const auto lanes = static_cast<std::size_t>(mesh_.arena().lanes());
   if (lane_scratch_.size() != lanes) {
     lane_scratch_.assign(lanes, std::vector<double>(scratch_size_));
   }

@@ -48,7 +48,7 @@ class AdrFlame {
   /// One explicit diffusion-reaction step of dt on every leaf. Guard
   /// cells must be current. Deposits nuclear energy into ener/eint and
   /// converts fuel to ash where phi advanced. Runs block-parallel over
-  /// `par::threads()` lanes; each block touches only its own storage,
+  /// the mesh arena's lanes; each block touches only its own storage,
   /// and per-block energy partials are summed serially in leaf order so
   /// the released-energy total is identical for every thread count.
   void advance(double dt);
@@ -98,7 +98,7 @@ class AdrFlame {
   std::size_t scratch_size_ = 0;  ///< zones (incl. guards) per block
 
   /// Per-lane phi scratch and per-block energy partials, cached across
-  /// advance() calls (re-sized only when `par::threads()` changes) so a
+  /// advance() calls (re-sized only when the arena lane count changes) so a
   /// timestep costs no steady-state allocations.
   std::vector<std::vector<double>> lane_scratch_;
   std::vector<double> block_energy_;

@@ -88,7 +88,7 @@ HydroSolver::HydroSolver(mesh::AmrMesh& mesh, const eos::Eos& eos,
 HydroSolver::~HydroSolver() = default;
 
 void HydroSolver::ensure_lane_scratch() {
-  const int lanes = par::threads();
+  const int lanes = mesh_.arena().lanes();
   if (scratch_lanes_ == lanes) return;
   const mesh::MeshConfig& c = mesh_.config();
   lane_bufs_.clear();
@@ -163,9 +163,9 @@ double HydroSolver::compute_dt() const {
   const std::vector<int> leaves = mesh_.tree().leaves_morton();
   // Per-lane partial minima; min is exact and commutative, so the
   // lane-then-serial combine equals the serial scan bit for bit.
-  std::vector<double> lane_dt(static_cast<std::size_t>(par::threads()),
+  std::vector<double> lane_dt(static_cast<std::size_t>(mesh_.arena().lanes()),
                               std::numeric_limits<double>::max());
-  par::parallel_for_blocks(leaves, [&](int lane, int b) {
+  mesh_.arena().parallel_for_blocks(leaves, [&](int lane, int b) {
     RegionWitness witness;  // region lambda body: lane writer role
     auto& slot = lane_dt[static_cast<std::size_t>(lane)];
     slot = std::min(slot, block_dt(b));
@@ -202,7 +202,7 @@ void HydroSolver::sweep(int axis, double dt) {
   // Cached per-lane scratch; sweep_block touches only block b's storage
   // and b's own flux-register slots, so blocks are independent.
   ensure_lane_scratch();
-  par::parallel_for_blocks(leaves, [&](int lane, int b) {
+  mesh_.arena().parallel_for_blocks(leaves, [&](int lane, int b) {
     RegionWitness witness;  // region lambda body: lane writer role
     sweep_block_task(axis, dt, b, lane);
   });
@@ -648,7 +648,7 @@ void HydroSolver::eos_update() {
   // Cached per-lane row scratch; Eos::eval is const (pure per-zone), so
   // the block pass is embarrassingly parallel.
   ensure_lane_scratch();
-  par::parallel_for_blocks(leaves, [&](int lane, int b) {
+  mesh_.arena().parallel_for_blocks(leaves, [&](int lane, int b) {
     RegionWitness witness;  // region lambda body: lane writer role
     eos_update_block_task(b, lane);
   });
@@ -709,9 +709,11 @@ void HydroSolver::trace_step_block(tlb::Tracer& tracer, int b) const {
   const int nvar = c.nvar();
   // Per-pencil scratch (primitives, slopes, evolved states, fluxes) lives
   // on the ordinary heap — base pages in both experiment arms (4 KiB on
-  // x86, 64 KiB on many ARM kernels).
+  // x86, 64 KiB on many ARM kernels). Modeled at a fixed synthetic
+  // address so the stream is identical whichever thread replays it.
   const std::uint8_t heap_shift = tlb::page_shift_of(mem::base_page_size());
-  static thread_local double scratch[14][64];
+  constexpr std::size_t kScratchRows = 14;
+  constexpr std::size_t kScratchRowBytes = 64 * sizeof(double);
   const auto zones = static_cast<std::uint64_t>(c.nxb) *
                      static_cast<std::uint64_t>(c.nyb) *
                      static_cast<std::uint64_t>(c.nzb);
@@ -735,8 +737,10 @@ void HydroSolver::trace_step_block(tlb::Tracer& tracer, int b) const {
     // vectorizable fraction (the paper measured 0.11 SVE instr/cycle).
     tracer.compute(zones * 230, zones * 15);
     for (std::uint64_t p = 0; p < pencils_per_sweep; ++p) {
-      for (auto& arr : scratch) {
-        tracer.touch(arr, sizeof arr, true, heap_shift);
+      for (std::size_t r = 0; r < kScratchRows; ++r) {
+        tracer.touch(tlb::synthetic_scratch(tlb::kHydroPencilScratchSlot,
+                                            r * kScratchRowBytes),
+                     kScratchRowBytes, true, heap_shift);
       }
     }
   }

@@ -57,7 +57,7 @@ class HydroSolver {
   void step(double dt);
 
   /// One directional sweep over all leaves (exposed for tests). Blocks
-  /// are distributed over `par::threads()` lanes: each block's update
+  /// are distributed over the mesh arena's lanes: each block's update
   /// reads only its own (pre-filled) storage and writes only its own
   /// interior and flux-register slots, so the parallel sweep is
   /// bit-identical to the serial one.
@@ -65,7 +65,7 @@ class HydroSolver {
 
   /// Re-establish EOS consistency from (rho, ener, velocities): sets
   /// eint, pres, temp, gamc, game zone by zone (FLASH's Eos_wrapped on
-  /// MODE_DENS_EI). Runs block-parallel over `par::threads()` lanes.
+  /// MODE_DENS_EI). Runs block-parallel on the mesh's arena.
   void eos_update();
 
   // --- task-graph entry points -------------------------------------------
@@ -77,7 +77,7 @@ class HydroSolver {
   // results bit for bit.
 
   /// Size per-lane scratch (pencil buffers, EOS rows) for the current
-  /// `par::threads()`. Driver-thread, setup-time: allocates on lane-count
+  /// arena lane count. Driver-thread, setup-time: allocates on lane-count
   /// change, no-op otherwise. The bulk paths call it on entry; the
   /// task-graph driver calls it before running a step graph.
   void ensure_lane_scratch();
@@ -159,7 +159,7 @@ class HydroSolver {
   std::vector<double> flux_store_; ///< [block][side][v][t2][t1]
 
   // Per-lane scratch, cached across steps (rebuilt by ensure_lane_scratch
-  // only when par::threads() changes) so sweep/EOS task bodies stay
+  // only when the arena lane count changes) so sweep/EOS task bodies stay
   // allocation-free on the hot path.
   int scratch_lanes_ = 0;
   std::vector<PencilBuffers> lane_bufs_;

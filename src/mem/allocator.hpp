@@ -74,9 +74,10 @@ class HugeBuffer {
   HugeBuffer() = default;
 
   /// Allocate room for \p count elements under \p policy (value-initialized)
-  /// from \p pool (default: the process-wide pool).
-  HugeBuffer(std::size_t count, HugePolicy policy,
-             PagePool& pool = global_page_pool())
+  /// from \p pool. The pool is always explicit — callers inside a runtime
+  /// pass `runtime.page_pool()`; code genuinely outside any runtime uses
+  /// `rt::Runtime::process_default().page_pool()`.
+  HugeBuffer(std::size_t count, HugePolicy policy, PagePool& pool)
       : alloc_([&] {
           FHP_REQUIRE(
               count <= std::numeric_limits<std::size_t>::max() / sizeof(T),

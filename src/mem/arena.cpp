@@ -17,6 +17,8 @@ Arena::Arena(HugePolicy policy, std::size_t chunk_bytes, PagePool* pool)
 }
 
 void Arena::add_chunk(std::size_t min_bytes) {
+  // Null-pool fallback kept for the deprecated global_arena() shim; code
+  // inside a runtime passes its pool. fhp-lint: allow(singleton-instance)
   PagePool& pool = pool_ != nullptr ? *pool_ : global_page_pool();
   PoolAllocation chunk =
       pool.alloc(std::max(min_bytes, chunk_bytes_), policy_);

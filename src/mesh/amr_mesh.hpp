@@ -27,17 +27,29 @@
 #include "mesh/unk.hpp"
 #include "support/lane.hpp"
 
+namespace fhp::par {
+class ExecArena;
+}  // namespace fhp::par
+
 namespace fhp::mesh {
 
 /// The mesh. Construction allocates `unk` (maxblocks capacity) on the
 /// given huge-page policy and block layout and creates the root blocks.
 class AmrMesh {
  public:
-  /// \param pool the PagePool `unk` is carved from; nullptr uses the
-  ///        process-wide pool.
+  /// \param pool the PagePool `unk` is carved from (runtime callers pass
+  ///        `runtime.page_pool()`).
+  /// \param arena the execution arena block-parallel mesh operations
+  ///        (and the physics kernels iterating this mesh) run on; null =
+  ///        the process arena. rt::Runtime-owned setups pass
+  ///        `&runtime.arena()` so concurrent meshes never share a
+  ///        region guard.
   AmrMesh(const MeshConfig& config, mem::HugePolicy policy,
-          LayoutKind layout = default_layout(),
-          mem::PagePool* pool = nullptr);
+          LayoutKind layout, mem::PagePool& pool,
+          par::ExecArena* arena = nullptr);
+
+  /// The arena this mesh's block-parallel sweeps run on.
+  [[nodiscard]] par::ExecArena& arena() const noexcept { return *arena_; }
 
   [[nodiscard]] const MeshConfig& config() const noexcept { return config_; }
   [[nodiscard]] UnkContainer& unk() noexcept { return unk_; }
@@ -65,8 +77,8 @@ class AmrMesh {
   // --- mesh operations ---------------------------------------------------
   /// Fill every guard cell of every allocated block (restriction first,
   /// then level-ordered exchange/interpolation, then physical BCs).
-  /// Within each level the per-block exchange runs block-parallel over
-  /// `par::threads()` lanes.
+  /// Within each level the per-block exchange runs block-parallel on
+  /// this mesh's arena.
   void fill_guardcells();
 
   /// Fill every guard zone of one block (same-level copies, coarse
@@ -156,6 +168,7 @@ class AmrMesh {
   MeshConfig config_;
   BlockTree tree_;
   UnkContainer unk_;
+  par::ExecArena* arena_;  ///< never null after construction
 };
 
 }  // namespace fhp::mesh

@@ -51,6 +51,8 @@ namespace {
 std::atomic<int> g_default_layout{-1};  // -1: not yet initialized
 }
 
+// Resolution shim behind rt::Runtime's layout snapshot (runtime.cpp is
+// the licensed caller). fhp-lint: allow(singleton-instance)
 LayoutKind default_layout() {
   int v = g_default_layout.load(std::memory_order_acquire);
   if (v < 0) {

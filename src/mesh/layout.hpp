@@ -75,8 +75,12 @@ inline constexpr const char* kLayoutEnvVar = "FLASHHP_LAYOUT";
 [[nodiscard]] LayoutKind layout_from_environment(
     LayoutKind fallback = LayoutKind::kVarMajor);
 
-/// Process-wide default used by UnkContainer / AmrMesh when no layout is
-/// given explicitly. Lazily initialized via the resolution order.
+/// Process-wide resolved layout. Lazily initialized via the resolution
+/// order. This is a shim for code outside any runtime: an rt::Runtime
+/// snapshots it (or an explicit override) at construction, and mesh
+/// containers take the layout explicitly. The lint rule
+/// `singleton-instance` bans new call sites outside the shims.
+// fhp-lint: allow(singleton-instance)
 [[nodiscard]] LayoutKind default_layout();
 
 /// Resolution step 1: pin the process-wide default.

@@ -35,11 +35,12 @@ namespace fhp::mesh {
 /// is whatever the active BlockLayout says.
 class UnkContainer {
  public:
-  /// \param pool the PagePool the solution array is carved from; nullptr
-  ///        uses the process-wide pool.
+  /// \param layout_kind the block-data layout; runtime callers pass
+  ///        `runtime.layout()` (the snapshot of the resolution order).
+  /// \param pool the PagePool the solution array is carved from. Both are
+  ///        always explicit — the container has no process defaults.
   UnkContainer(const MeshConfig& config, mem::HugePolicy policy,
-               LayoutKind layout_kind = default_layout(),
-               mem::PagePool* pool = nullptr)
+               LayoutKind layout_kind, mem::PagePool& pool)
       : layout_(layout_kind, config.nvar(), config.ni(), config.nj(),
                 config.nk()),
         nvar_(config.nvar()),
@@ -48,8 +49,7 @@ class UnkContainer {
         nk_(config.nk()),
         maxblocks_(config.maxblocks),
         data_(layout_.block_stride() * static_cast<std::size_t>(maxblocks_),
-              policy,
-              pool != nullptr ? *pool : mem::global_page_pool()),
+              policy, pool),
         // Until refresh_page_shift() scans smaps, model with the kernel's
         // base page: 4 KiB on x86, but 64 KiB ARM kernels exist and the
         // paper's A64FX platform runs them.
@@ -176,7 +176,11 @@ class UnkContainer {
     const int inner = axis;
     const int mid = axis == 0 ? 1 : 0;
     const int outer = axis == 2 ? 1 : 2;
-    const double* base = data_.data();
+    // Replayed at the fixed synthetic base so the modeled counters do
+    // not depend on where the kernel mapped this container's storage
+    // (see tlb::synthetic_scratch); offsets are the real layout's.
+    const auto* base = static_cast<const double*>(
+        tlb::synthetic_scratch(tlb::kUnkTraceSlot));
     int idx[3];
     for (idx[outer] = lo[outer]; idx[outer] < hi[outer]; ++idx[outer]) {
       for (idx[mid] = lo[mid]; idx[mid] < hi[mid]; ++idx[mid]) {
@@ -212,7 +216,8 @@ class UnkContainer {
     if (!tracer.enabled()) return;
     check_sweep_range(b, 0, ilo, ihi, jlo, jhi, klo, khi, 1, 0);
     FHP_PRECONDITION(v >= 0 && v < nvar_, "variable index out of range");
-    const double* base = data_.data();
+    const auto* base = static_cast<const double*>(
+        tlb::synthetic_scratch(tlb::kUnkTraceSlot));
     for (int k = klo; k < khi; ++k) {
       for (int j = jlo; j < jhi; ++j) {
         for (int i = ilo; i < ihi; ++i) {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "rt/runtime.hpp"
 #include "support/error.hpp"
 #include "support/runtime_params.hpp"
 
@@ -49,7 +50,20 @@ void Telemetry::install() {
   }
 }
 
+void Telemetry::install(rt::Runtime& runtime) {
+  if (runtime.trace_sink() != nullptr) {
+    throw ConfigError(
+        "obs::Telemetry::install: the runtime already has a trace sink");
+  }
+  runtime.set_trace_sink(this);
+  runtime_ = &runtime;
+}
+
 void Telemetry::uninstall() noexcept {
+  if (runtime_ != nullptr) {
+    if (runtime_->trace_sink() == this) runtime_->set_trace_sink(nullptr);
+    runtime_ = nullptr;
+  }
   trace::uninstall(this);
   Telemetry* expected = this;
   detail::g_current.compare_exchange_strong(expected, nullptr,

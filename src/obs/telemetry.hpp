@@ -45,6 +45,10 @@ namespace fhp {
 class RuntimeParams;
 }  // namespace fhp
 
+namespace fhp::rt {
+class Runtime;  // rt/runtime.hpp — per-runtime install target
+}  // namespace fhp::rt
+
 namespace fhp::obs {
 
 class Telemetry;
@@ -80,11 +84,25 @@ class Telemetry final : public trace::Sink {
   Telemetry& operator=(const Telemetry&) = delete;
 
   /// Publish this context as the ambient FHP_TRACE_SPAN sink. Throws
-  /// fhp::ConfigError if another sink is already installed.
+  /// fhp::ConfigError if another sink is already installed. This is the
+  /// process-wide legacy path; multi-tenant code installs per runtime.
   void install() FHP_EXCLUDES_REGION;
 
-  /// Withdraw from the ambient slot (idempotent; the destructor calls
-  /// it). Only legal when no region is in flight and no span is open.
+  /// Publish this context as \p runtime's span sink: spans recorded on
+  /// the runtime's arena lanes — and on the driver thread inside a
+  /// Driver step — route here instead of the ambient slot, so
+  /// interleaved runtimes keep separate timelines. Any number of
+  /// runtimes may each carry their own Telemetry this way (the ambient
+  /// slot stays free). Size `TelemetryOptions::lanes` to the runtime's
+  /// lane count — the 0 default sizes for `par::threads()`, which only
+  /// matches the process runtime. Throws fhp::ConfigError if \p runtime
+  /// already has a sink. The runtime must outlive this Telemetry (or
+  /// uninstall() first).
+  void install(rt::Runtime& runtime) FHP_EXCLUDES_REGION;
+
+  /// Withdraw from the ambient slot and/or the bound runtime
+  /// (idempotent; the destructor calls it). Only legal when no region is
+  /// in flight and no span is open.
   void uninstall() noexcept FHP_EXCLUDES_REGION;
 
   [[nodiscard]] bool installed() const noexcept {
@@ -155,6 +173,7 @@ class Telemetry final : public trace::Sink {
   std::vector<StepMark> step_marks_;
   std::function<std::uint64_t()> clock_;
   std::atomic<std::uint64_t> overflow_drops_{0};
+  rt::Runtime* runtime_ = nullptr;  ///< per-runtime install target
 };
 
 /// Compat alias: the RAII span scope moved to support/trace.hpp with the

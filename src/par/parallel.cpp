@@ -6,22 +6,121 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/runtime_params.hpp"
+#include "support/trace.hpp"
 
 namespace fhp::par {
+
 namespace {
+
+int clamp_lanes(int n) {
+  if (n < 1) return 1;
+  if (n > kMaxLanes) return kMaxLanes;
+  return n;
+}
+
+/// Configured process lane count; -1 means "not yet resolved from
+/// environment".
+std::atomic<int> g_threads{-1};
+
+int resolved_threads() {
+  int current = g_threads.load(std::memory_order_acquire);
+  if (current > 0) return current;
+  const int from_env = threads_from_environment(1);
+  int expected = -1;
+  if (g_threads.compare_exchange_strong(expected, from_env,
+                                        std::memory_order_acq_rel)) {
+    return from_env;
+  }
+  return expected;
+}
+
+/// Pooled-region participation depth of the calling thread. Incremented
+/// on every lane (caller and workers) for the duration of its chunk;
+/// region_active() reads it. Thread-local so that one runtime draining
+/// telemetry is not confused with another runtime being mid-region.
+thread_local constinit int t_region_depth = 0;
+
+/// Applies an arena's LaneEnv to the calling thread: trace-sink binding
+/// and log tag. No-op (and no TLS writes beyond the optionals' flags)
+/// when env is null or empty. Does not allocate — TaskGraph's scheduler
+/// region runs under FHP_NO_ALLOC.
+class EnvBinding {
+ public:
+  explicit EnvBinding(const LaneEnv* env) {
+    if (env == nullptr) return;
+    if (env->bind_trace) sink_.emplace(env->trace_sink);
+    if (env->log_tag != nullptr) tag_.emplace(env->log_tag);
+  }
+  EnvBinding(const EnvBinding&) = delete;
+  EnvBinding& operator=(const EnvBinding&) = delete;
+
+ private:
+  std::optional<trace::SinkBinding> sink_;
+  std::optional<LogTagScope> tag_;
+};
+
+/// Full per-lane region scope: the env binding plus the thread-local
+/// region-participation mark. Constructed around run_chunk on every
+/// participating thread of a pooled region (serial paths apply only the
+/// EnvBinding — with one lane there is no quiescence hazard to flag).
+class LaneBinding {
+ public:
+  explicit LaneBinding(const LaneEnv* env) : env_(env) { ++t_region_depth; }
+  ~LaneBinding() { --t_region_depth; }
+  LaneBinding(const LaneBinding&) = delete;
+  LaneBinding& operator=(const LaneBinding&) = delete;
+
+ private:
+  EnvBinding env_;
+};
+
+/// RAII claim on an arena's single-region slot. Modeled as acquiring the
+/// support-layer region capability (support/lane.hpp): while a guard is
+/// alive the arena's lanes hold the per-lane writer role, so the
+/// thread-safety analysis rejects a nested parallel_for (which is
+/// FHP_EXCLUDES_REGION) at compile time; the runtime exchange() below
+/// stays as the defense against unannotated callers. The flag is
+/// per-arena, so two arenas (two runtimes) may be mid-region at once.
+class FHP_SCOPED_CAPABILITY RegionGuard {
+ public:
+  explicit RegionGuard(std::atomic<bool>& active)
+      FHP_ACQUIRE(::fhp::region_cap)
+      : active_(active) {
+    FHP_REQUIRE(!active_.exchange(true, std::memory_order_acquire),
+                "parallel_for: regions on one arena must not be nested or "
+                "issued concurrently from two threads");
+  }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+  ~RegionGuard() FHP_RELEASE() {
+    active_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool>& active_;
+};
+
+}  // namespace
+
+namespace detail {
 
 /// Persistent worker pool. Workers sleep on a condition variable between
 /// regions; a region is published as a monotonically increasing
 /// generation number plus a task body, and completion is counted back
 /// under the same mutex. std::mutex (not fhp::Mutex) because
 /// std::condition_variable requires it; the lock discipline here is
-/// local to this file.
+/// local to this file. Lifetime is managed by shared_ptr leases handed
+/// out by ExecArena::acquire_pool(): a region in flight keeps its pool
+/// alive even if the owning arena is reconfigured underneath it, and the
+/// workers join when the last lease drops.
 class ThreadPool {
  public:
   explicit ThreadPool(int lanes) : lanes_(lanes) {
@@ -46,17 +145,20 @@ class ThreadPool {
   [[nodiscard]] int lanes() const { return lanes_; }
 
   /// Runs `fn(lane, i)` for i in [0, n), lane l covering the static
-  /// chunk [l*n/L, (l+1)*n/L). Rethrows the first captured exception —
-  /// only after every lane has stopped, even when the throwing lane is
-  /// the caller itself: workers may still be inside `fn`, which lives in
-  /// the caller's frame, so unwinding before the handshake would be a
+  /// chunk [l*n/L, (l+1)*n/L), with \p env applied on every lane for the
+  /// duration of its chunk. Rethrows the first captured exception — only
+  /// after every lane has stopped, even when the throwing lane is the
+  /// caller itself: workers may still be inside `fn`, which lives in the
+  /// caller's frame, so unwinding before the handshake would be a
   /// use-after-free (and would leave pending_ poisoned for the next
   /// region).
-  void run(std::size_t n, const std::function<void(int, std::size_t)>& fn) {
+  void run(std::size_t n, const std::function<void(int, std::size_t)>& fn,
+           const LaneEnv* env) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       task_fn_ = &fn;
       task_n_ = n;
+      task_env_ = env;
       pending_ = lanes_ - 1;
       first_error_ = nullptr;
       ++generation_;
@@ -64,6 +166,7 @@ class ThreadPool {
     start_cv_.notify_all();
 
     try {
+      LaneBinding binding(env);
       run_chunk(0, n, fn);  // the caller participates as lane 0
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -83,6 +186,7 @@ class ThreadPool {
     for (;;) {
       const std::function<void(int, std::size_t)>* fn = nullptr;
       std::size_t n = 0;
+      const LaneEnv* env = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         start_cv_.wait(lock,
@@ -91,8 +195,10 @@ class ThreadPool {
         seen = generation_;
         fn = task_fn_;
         n = task_n_;
+        env = task_env_;
       }
       try {
+        LaneBinding binding(env);
         run_chunk(lane, n, *fn);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -123,80 +229,14 @@ class ThreadPool {
   std::condition_variable done_cv_;
   const std::function<void(int, std::size_t)>* task_fn_ = nullptr;
   std::size_t task_n_ = 0;
+  const LaneEnv* task_env_ = nullptr;
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
 };
 
-/// Set while a pooled region is in flight. Parallel regions may only be
-/// issued from one thread at a time (the single driver thread) and must
-/// not be nested; this turns both contract violations into a clean
-/// ConfigError instead of a corrupted pool handshake.
-std::atomic<bool> g_region_active{false};
-
-/// RAII claim on the single-region slot. Modeled as acquiring the
-/// support-layer region capability (support/lane.hpp): while a guard is
-/// alive the pool's lanes hold the per-lane writer role, so the
-/// thread-safety analysis rejects a nested parallel_for (which is
-/// FHP_EXCLUDES_REGION) at compile time; the runtime exchange() below
-/// stays as the defense against unannotated callers.
-class FHP_SCOPED_CAPABILITY RegionGuard {
- public:
-  RegionGuard() FHP_ACQUIRE(::fhp::region_cap) {
-    FHP_REQUIRE(!g_region_active.exchange(true, std::memory_order_acquire),
-                "parallel_for: regions must not be nested or issued "
-                "concurrently from two threads");
-  }
-  RegionGuard(const RegionGuard&) = delete;
-  RegionGuard& operator=(const RegionGuard&) = delete;
-  ~RegionGuard() FHP_RELEASE() {
-    g_region_active.store(false, std::memory_order_release);
-  }
-};
-
-/// Configured lane count; -1 means "not yet resolved from environment".
-std::atomic<int> g_threads{-1};
-
-/// The lazily built pool. Guarded by g_pool_mutex for the (setup-time)
-/// rebuild; steady-state regions only read the pointer.
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT(cert-err58-cpp)
-
-int clamp_lanes(int n) {
-  if (n < 1) return 1;
-  if (n > kMaxLanes) return kMaxLanes;
-  return n;
-}
-
-int resolved_threads() {
-  int current = g_threads.load(std::memory_order_acquire);
-  if (current > 0) return current;
-  const int from_env = threads_from_environment(1);
-  int expected = -1;
-  if (g_threads.compare_exchange_strong(expected, from_env,
-                                        std::memory_order_acq_rel)) {
-    return from_env;
-  }
-  return expected;
-}
-
-/// Returns the pool sized for the current thread count, rebuilding it if
-/// the count changed since the last region. Null when serial.
-ThreadPool* pool_for(int lanes) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  if (lanes <= 1) {
-    g_pool.reset();
-    return nullptr;
-  }
-  if (!g_pool || g_pool->lanes() != lanes) {
-    g_pool.reset();  // join the old workers before spawning new ones
-    g_pool = std::make_unique<ThreadPool>(lanes);
-  }
-  return g_pool.get();
-}
-
-}  // namespace
+}  // namespace detail
 
 int threads_from_environment(int fallback) {
   // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once before the pool
@@ -218,9 +258,7 @@ void set_threads(int n) {
   g_threads.store(clamp_lanes(n), std::memory_order_release);
 }
 
-bool region_active() noexcept {
-  return g_region_active.load(std::memory_order_acquire);
-}
+bool region_active() noexcept { return t_region_depth > 0; }
 
 void declare_runtime_params(RuntimeParams& params) {
   params.declare_int("par.threads", threads(),
@@ -232,39 +270,106 @@ void apply_runtime_params(const RuntimeParams& params) {
   set_threads(static_cast<int>(params.get_int("par.threads")));
 }
 
-void parallel_for(std::size_t n,
-                  const std::function<void(int lane, std::size_t i)>& fn) {
-  const int lanes = resolved_threads();
-  ThreadPool* pool = pool_for(lanes);
-  if (pool == nullptr || n < 2) {
+ExecArena::ExecArena(int lanes)
+    : lanes_(lanes == 0 ? resolved_threads() : clamp_lanes(lanes)) {}
+
+ExecArena::ExecArena(ProcessTag)
+    : track_process_threads_(true), lanes_(1) {}
+
+ExecArena::~ExecArena() = default;
+
+int ExecArena::lanes() const noexcept {
+  if (track_process_threads_) return resolved_threads();
+  return lanes_.load(std::memory_order_acquire);
+}
+
+void ExecArena::set_lanes(int n) {
+  const int lanes = clamp_lanes(n);
+  if (track_process_threads_) {
+    set_threads(lanes);
+  } else {
+    lanes_.store(lanes, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  // Drop our reference to a stale pool now; a region in flight keeps its
+  // own lease, so the workers join only when that region finishes.
+  if (pool_ && pool_->lanes() != lanes) pool_.reset();
+}
+
+void ExecArena::set_lane_env(const LaneEnv* env) noexcept {
+  env_.store(env, std::memory_order_release);
+}
+
+const LaneEnv* ExecArena::lane_env() const noexcept {
+  return env_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<detail::ThreadPool> ExecArena::acquire_pool() {
+  const int lanes = this->lanes();
+  if (lanes <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  if (!pool_ || pool_->lanes() != lanes) {
+    pool_.reset();  // join the old workers (if unleased) before respawning
+    pool_ = std::make_shared<detail::ThreadPool>(lanes);
+  }
+  return pool_;
+}
+
+void ExecArena::parallel_for(
+    std::size_t n, const std::function<void(int lane, std::size_t i)>& fn) {
+  const std::shared_ptr<detail::ThreadPool> lease = acquire_pool();
+  const LaneEnv* env = env_.load(std::memory_order_acquire);
+  if (lease == nullptr || n < 2) {
+    EnvBinding binding(env);
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
-  RegionGuard guard;
-  pool->run(n, fn);
+  RegionGuard guard(active_);
+  lease->run(n, fn, env);
+}
+
+void ExecArena::parallel_for_blocks(
+    std::span<const int> blocks,
+    const std::function<void(int lane, int block)>& fn) {
+  parallel_for(blocks.size(),
+               [&](int lane, std::size_t i) { fn(lane, blocks[i]); });
+}
+
+void ExecArena::run_region(const std::function<void(int lane)>& body) {
+  const std::shared_ptr<detail::ThreadPool> lease = acquire_pool();
+  const LaneEnv* env = env_.load(std::memory_order_acquire);
+  if (lease == nullptr) {
+    EnvBinding binding(env);
+    body(0);
+    return;
+  }
+  RegionGuard guard(active_);
+  // With n == lanes the static chunk of lane l is exactly {l}, so the
+  // pool's run() degenerates to "each lane executes the body once".
+  const int lanes = lease->lanes();
+  lease->run(static_cast<std::size_t>(lanes),
+             [&body](int lane, std::size_t /*i*/) { body(lane); }, env);
+}
+
+ExecArena& process_arena() {
+  static ExecArena arena{ExecArena::ProcessTag{}};
+  return arena;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(int lane, std::size_t i)>& fn) {
+  process_arena().parallel_for(n, fn);
 }
 
 void parallel_for_blocks(std::span<const int> blocks,
                          const std::function<void(int lane, int block)>& fn) {
-  parallel_for(blocks.size(), [&](int lane, std::size_t i) {
-    fn(lane, blocks[i]);
-  });
+  process_arena().parallel_for_blocks(blocks, fn);
 }
 
 namespace detail {
 
 void run_region(const std::function<void(int lane)>& body) {
-  const int lanes = resolved_threads();
-  ThreadPool* pool = pool_for(lanes);
-  if (pool == nullptr) {
-    body(0);
-    return;
-  }
-  RegionGuard guard;
-  // With n == lanes the static chunk of lane l is exactly {l}, so the
-  // pool's run() degenerates to "each lane executes the body once".
-  pool->run(static_cast<std::size_t>(lanes),
-            [&body](int lane, std::size_t /*i*/) { body(lane); });
+  process_arena().run_region(body);
 }
 
 }  // namespace detail

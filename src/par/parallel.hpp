@@ -1,5 +1,6 @@
 /// \file parallel.hpp
-/// \brief Block-sweep worker pool: `fhp::par::parallel_for_blocks`.
+/// \brief Block-sweep worker pool: `fhp::par::ExecArena` and the
+///        `parallel_for_blocks` family.
 ///
 /// The paper's workloads are leaf-block sweeps over `unk` in which each
 /// block touches only its own storage (interior plus pre-filled guard
@@ -22,26 +23,42 @@
 ///     deques. This is what the fused driver timestep uses to overlap
 ///     guard-fill, sweeps, flux fixups and EOS updates.
 ///
-/// Thread count resolution order (highest wins):
+/// Execution arenas. The pool, its region guard, and the lane-count
+/// configuration are per-`ExecArena`, not per-process: each rt::Runtime
+/// owns an arena, so two runtimes can run regions concurrently without
+/// tripping each other's nested-region `ConfigError`. The legacy free
+/// functions (`parallel_for`, `parallel_for_blocks`,
+/// `detail::run_region`) are shims over the *process arena* — the one
+/// arena whose lane count tracks `threads()` — and behave exactly as
+/// they always did.
+///
+/// Thread count resolution order for the process arena (highest wins):
 ///   1. `set_threads()` / the `par.threads` runtime parameter,
 ///   2. the `FLASHHP_THREADS` environment variable,
 ///   3. the serial default of 1.
+/// A private arena instead pins its lane count at construction (0 =
+/// "resolve like the process arena, once, now") until `set_lanes()`.
 ///
-/// With `threads() == 1` every entry point degenerates to a plain serial
-/// loop on the calling thread — no pool is created, no locks are taken —
-/// so single-threaded builds pay nothing for this module's existence.
+/// With one lane every entry point degenerates to a plain serial loop on
+/// the calling thread — no pool is created, no locks are taken — so
+/// single-threaded builds pay nothing for this module's existence.
 ///
-/// The pool is configured at setup time: calling `set_threads()` while a
-/// `parallel_for` is in flight on another thread is undefined. Within a
-/// parallel region the caller participates as lane 0 and workers are
-/// lanes `1..L-1`; `lane()` returns the executing thread's lane so
-/// per-lane scratch (pencil buffers, EOS rows, counter shards) can be
-/// indexed without synchronization.
+/// An arena is configured at setup time: calling `set_lanes()` while one
+/// of its regions is in flight reconfigures *later* regions — the
+/// in-flight region keeps a refcounted lease on its pool, so its workers
+/// are never yanked mid-chunk (the old `pool_for()` replace-under-a-
+/// reader hazard). Within a parallel region the caller participates as
+/// lane 0 and workers are lanes `1..L-1`; `lane()` returns the executing
+/// thread's lane so per-lane scratch (pencil buffers, EOS rows, counter
+/// shards) can be indexed without synchronization.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 
 #include "support/lane.hpp"
@@ -49,6 +66,10 @@
 namespace fhp {
 class RuntimeParams;
 }  // namespace fhp
+
+namespace fhp::trace {
+class Sink;
+}  // namespace fhp::trace
 
 namespace fhp::par {
 
@@ -65,23 +86,27 @@ inline constexpr int kMaxLanes = ::fhp::kMaxLanes;
 /// Values above `kMaxLanes` are clamped.
 [[nodiscard]] int threads_from_environment(int fallback = 1);
 
-/// The configured lane count (>= 1). Initialized lazily from
-/// `FLASHHP_THREADS` on first use unless `set_threads` ran earlier.
+/// The process arena's configured lane count (>= 1). Initialized lazily
+/// from `FLASHHP_THREADS` on first use unless `set_threads` ran earlier.
 [[nodiscard]] int threads();
 
-/// Sets the lane count for subsequent parallel regions. Clamped to
-/// `[1, kMaxLanes]`. Setup-time only: must not race a parallel region.
+/// Sets the process arena's lane count for subsequent parallel regions.
+/// Clamped to `[1, kMaxLanes]`. Setup-time only with respect to the
+/// process arena's own regions; private arenas are unaffected.
 void set_threads(int n);
 
 /// Lane of the calling thread: 0 for the caller (and for all serial
-/// code), `1..threads()-1` inside pool workers during a region.
+/// code), `1..lanes-1` inside pool workers during a region.
 /// Forwarding alias for `fhp::lane_id()` (support/lane.hpp).
 [[nodiscard]] inline int lane() noexcept { return ::fhp::lane_id(); }
 
-/// True while a pooled parallel region is in flight. Read-side telemetry
-/// helpers assert on this: per-lane rings and counter shards may only be
-/// drained when the lanes are quiescent (the pool handshake is the
-/// happens-before edge that makes those reads safe).
+/// True while the *calling thread* is participating in a pooled parallel
+/// region (any arena). Read-side telemetry helpers assert on this:
+/// per-lane rings and counter shards may only be drained from a thread
+/// that is outside the region whose lanes wrote them (the pool handshake
+/// is the happens-before edge that makes those reads safe). Thread-local
+/// by design — runtime A draining its telemetry must not be blinded by
+/// runtime B being mid-region on another thread.
 [[nodiscard]] bool region_active() noexcept;
 
 /// Registers the `par.threads` runtime parameter (default: current
@@ -91,34 +116,122 @@ void declare_runtime_params(RuntimeParams& params);
 /// Applies `par.threads` from `params` via `set_threads`.
 void apply_runtime_params(const RuntimeParams& params);
 
-/// Runs `fn(lane, i)` for every `i` in `[0, n)`, statically chunked
-/// across `threads()` lanes. Blocks until all lanes finish. The first
-/// exception thrown by any lane — including lane 0, the caller — is
-/// rethrown on the caller after every lane has stopped. Regions share
-/// one global pool, so they must not be nested and may only be issued
-/// from one thread at a time (the single driver thread); violations
-/// throw `fhp::ConfigError` instead of corrupting the pool handshake —
-/// and FHP_EXCLUDES_REGION makes the nested case a `-Wthread-safety`
-/// compile error first.
+/// Per-lane ambient environment an arena applies on every participating
+/// thread (caller lane 0 and each pool worker) for the duration of a
+/// region. This is how an rt::Runtime's trace sink and log tag follow
+/// its work onto pool lanes without any process-global install.
+struct LaneEnv {
+  /// Thread-locally bound as the trace sink while a region runs (only
+  /// when `bind_trace`; a bound null masks the ambient sink).
+  trace::Sink* trace_sink = nullptr;
+  bool bind_trace = false;
+  /// Non-null: FHP_LOG lines from region lanes carry this tag.
+  const char* log_tag = nullptr;
+};
+
+namespace detail {
+class ThreadPool;
+}  // namespace detail
+
+/// One execution arena: a lane pool lease plus its own single-region
+/// guard. All entry points run `fn` with the same static chunking as the
+/// free functions, so results are bit-identical for a given lane count
+/// regardless of which arena runs them. Construction is cheap (the pool
+/// itself spins up lazily at the first multi-lane region). Regions on
+/// *one* arena must not be nested or issued concurrently from two
+/// threads (ConfigError, and a `-Wthread-safety` error first); regions
+/// on *different* arenas may run concurrently.
+class ExecArena {
+ public:
+  /// \param lanes fixed lane count for this arena; 0 = resolve the
+  ///        process thread-count order (set_threads / FLASHHP_THREADS /
+  ///        1) once, now. Clamped to [1, kMaxLanes].
+  explicit ExecArena(int lanes = 0);
+  ~ExecArena();
+  ExecArena(const ExecArena&) = delete;
+  ExecArena& operator=(const ExecArena&) = delete;
+
+  /// Lane count the next region will use. (The process arena re-resolves
+  /// `threads()` here, which is what keeps the legacy free functions
+  /// responsive to `set_threads`.)
+  [[nodiscard]] int lanes() const noexcept;
+
+  /// Reconfigures the lane count for subsequent regions. A region in
+  /// flight on another thread keeps its leased pool until it finishes;
+  /// its workers join when the last lease drops. On the process arena
+  /// this forwards to `set_threads`.
+  void set_lanes(int n);
+
+  /// Installs the per-lane environment applied by every subsequent
+  /// region (null = none). Setup-time: the pointee must outlive its use;
+  /// rt::Runtime points this at a member of itself.
+  void set_lane_env(const LaneEnv* env) noexcept;
+  [[nodiscard]] const LaneEnv* lane_env() const noexcept;
+
+  /// Runs `fn(lane, i)` for every `i` in `[0, n)`, statically chunked
+  /// across `lanes()` lanes. Blocks until all lanes finish. The first
+  /// exception thrown by any lane — including lane 0, the caller — is
+  /// rethrown on the caller after every lane has stopped.
+  void parallel_for(std::size_t n,
+                    const std::function<void(int lane, std::size_t i)>& fn)
+      FHP_EXCLUDES_REGION;
+
+  /// Runs `fn(lane, block)` for every block id in `blocks` (typically
+  /// the mesh's leaf list), statically chunked across `lanes()` lanes.
+  void parallel_for_blocks(std::span<const int> blocks,
+                           const std::function<void(int lane, int block)>& fn)
+      FHP_EXCLUDES_REGION;
+
+  /// Runs `body(lane)` exactly once on every lane (0..lanes()-1)
+  /// concurrently, inside one pooled parallel region. This is the
+  /// substrate both execution models share: `parallel_for` hands each
+  /// lane its static chunk, and `TaskGraph::run` hands each lane its
+  /// scheduler loop. With one lane the body runs once, serially, on the
+  /// caller — no pool, no locks. Same exception contract as
+  /// parallel_for.
+  void run_region(const std::function<void(int lane)>& body)
+      FHP_EXCLUDES_REGION;
+
+ private:
+  struct ProcessTag {};
+  explicit ExecArena(ProcessTag);
+  friend ExecArena& process_arena();
+
+  /// Leases the pool sized for the current lane count, rebuilding it if
+  /// the count changed since the last region. Null when serial.
+  [[nodiscard]] std::shared_ptr<detail::ThreadPool> acquire_pool();
+
+  /// True for the one process arena: lanes() tracks threads().
+  const bool track_process_threads_ = false;
+
+  mutable std::mutex lease_mutex_;
+  std::shared_ptr<detail::ThreadPool> pool_;  // guarded by lease_mutex_
+  std::atomic<int> lanes_;
+  std::atomic<bool> active_{false};
+  std::atomic<const LaneEnv*> env_{nullptr};
+};
+
+/// The process arena: the one arena behind the legacy free functions and
+/// `rt::Runtime::process_default()`. Its lane count tracks `threads()`.
+[[nodiscard]] ExecArena& process_arena();
+
+/// Shim for `process_arena().parallel_for(n, fn)`, kept so existing call
+/// sites (and code genuinely outside any runtime) keep working. New code
+/// should run on an explicit arena — usually `runtime.arena()` or the
+/// owning mesh's `AmrMesh::arena()`.
 void parallel_for(std::size_t n,
                   const std::function<void(int lane, std::size_t i)>& fn)
     FHP_EXCLUDES_REGION;
 
-/// Runs `fn(lane, block)` for every block id in `blocks` (typically the
-/// mesh's leaf list), statically chunked across `threads()` lanes.
+/// Shim for `process_arena().parallel_for_blocks(blocks, fn)`.
 void parallel_for_blocks(std::span<const int> blocks,
                          const std::function<void(int lane, int block)>& fn)
     FHP_EXCLUDES_REGION;
 
 namespace detail {
 
-/// Runs `body(lane)` exactly once on every lane (0..threads()-1)
-/// concurrently, inside one pooled parallel region. This is the substrate
-/// both execution models share: `parallel_for` hands each lane its static
-/// chunk, and `TaskGraph::run` hands each lane its scheduler loop. At
-/// `threads() == 1` the body runs once, serially, on the caller — no pool,
-/// no locks. The first exception thrown by any lane is rethrown on the
-/// caller after every lane has stopped (same contract as parallel_for).
+/// Shim for `process_arena().run_region(body)` (see ExecArena::run_region
+/// for the contract).
 void run_region(const std::function<void(int lane)>& body)
     FHP_EXCLUDES_REGION;
 

@@ -60,6 +60,8 @@
 
 namespace fhp::par {
 
+class ExecArena;
+
 class TaskGraph {
  public:
   /// Dense task handle, assigned by add_task in submission order.
@@ -82,7 +84,12 @@ class TaskGraph {
     std::uint64_t yields = 0;         ///< empty scheduler iterations
   };
 
-  TaskGraph() = default;
+  /// \param arena the execution arena run() schedules on; null = the
+  ///        process arena (legacy behavior: the lane count tracks
+  ///        `par::threads()`). The arena must outlive the graph;
+  ///        rt::Runtime-owned meshes pass `&mesh.arena()` so a graph
+  ///        claims its own runtime's region slot, not the process one.
+  explicit TaskGraph(ExecArena* arena = nullptr) : arena_(arena) {}
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
 
@@ -161,12 +168,17 @@ class TaskGraph {
     std::uint64_t yields = 0;
   };
 
+  /// The arena run() schedules on (the process arena when none was
+  /// injected at construction).
+  [[nodiscard]] ExecArena& arena() const noexcept;
+
   void require_building(const char* what) const;
   void reset_run_state() noexcept;
   void scheduler_loop(int lane) noexcept;
   FHP_NO_ALLOC void execute_task(TaskId t, int lane) noexcept;
   void finish_run();
 
+  ExecArena* arena_ = nullptr;
   std::vector<Node> nodes_;
   bool frozen_ = false;
   std::uint64_t edge_count_ = 0;

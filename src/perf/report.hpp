@@ -31,12 +31,13 @@ struct RegionMeasures {
 class RegionReport {
  public:
   /// \param clock_hz modeled clock for the cycles -> seconds conversion.
-  explicit RegionReport(double clock_hz = 1.8e9,
-                        const RegionRegistry& registry =
-                            PerfContext::global().regions());
+  /// The registry is always explicit — there is no process-default
+  /// report; pass the context you measured with (usually
+  /// `runtime.perf()`).
+  RegionReport(double clock_hz, const RegionRegistry& registry);
 
   /// Report over \p context's regions.
-  RegionReport(const PerfContext& context, double clock_hz)
+  RegionReport(const PerfContext& context, double clock_hz = 1.8e9)
       : RegionReport(clock_hz, context.regions()) {}
 
   [[nodiscard]] const std::vector<RegionMeasures>& regions() const noexcept {

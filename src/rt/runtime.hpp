@@ -1,0 +1,171 @@
+/// \file runtime.hpp
+/// \brief fhp::rt::Runtime — the explicit per-tenant runtime context.
+///
+/// The paper measures one FLASH instance per node, but the roadmap's
+/// north star is a service batching many concurrent simulations per
+/// process. The blockers were process singletons: one PerfContext, one
+/// page pool, one lane pool with one region guard, one resolved layout,
+/// one ambient trace install. Runtime packages those services as an
+/// explicitly constructed context — each simulation tenant owns (or is
+/// handed) its own copy, so two sim::Drivers in one process keep their
+/// counters, allocations, parallel regions, trace spans and log lines
+/// fully separate, and each run is bit-identical to the same run solo.
+///
+/// What a Runtime owns:
+///   - a perf::PerfContext (counters, regions, publish snapshots),
+///   - a mem::PagePool handle — private by default, or a shared pool
+///     injected via RuntimeOptions::pool (tenants sharing one reserved
+///     hugetlb inventory),
+///   - a par::ExecArena — its own lane pool lease and region guard, so
+///     concurrent runtimes never trip each other's nested-region
+///     ConfigError,
+///   - the resolved mesh::LayoutKind / mem::HugePolicy configuration
+///     snapshot (explicit override, else the process resolution order:
+///     runtime params / environment / built-in default),
+///   - the trace sink and log tag its driver thread and pool lanes bind
+///     while working (see trace::SinkBinding and fhp::LogTagScope).
+///
+/// What stays process-wide, by design: the Logger sink itself (one log
+/// stream per process, like FLASH's flash.log — runtimes are told apart
+/// by their log tag), signal/environment state, and the runtime-params
+/// registry. See DESIGN.md "Runtime context model".
+///
+/// `Runtime::process_default()` is the compatibility tenant: it wraps
+/// the historical process singletons (global PerfContext, global page
+/// pool, the process arena whose lane count tracks par::threads(), the
+/// dynamically re-resolved default layout/policy) and reproduces the
+/// pre-Runtime behavior bit-for-bit. Its implementation file is the one
+/// place allowed to call those singleton accessors — the lint rule
+/// `singleton-instance` bans new call sites everywhere else.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mem/huge_policy.hpp"
+#include "mem/page_pool.hpp"
+#include "mesh/layout.hpp"
+#include "par/parallel.hpp"
+#include "perf/perf_context.hpp"
+#include "support/log.hpp"
+#include "support/trace.hpp"
+
+namespace fhp::rt {
+
+/// Construction-time configuration for a Runtime. Everything defaults
+/// to "resolve like the process would": 0 lanes = the par thread-count
+/// resolution order, nullopt layout/policy = the mesh/mem resolution
+/// orders, null pool = a private pool auto-initialized from the
+/// environment on first allocation.
+struct RuntimeOptions {
+  /// Lane count for this runtime's ExecArena; 0 = resolve
+  /// set_threads / FLASHHP_THREADS / 1, once, at construction.
+  int lanes = 0;
+  /// Block-data layout; nullopt = snapshot the process resolution order
+  /// (set_default_layout / FLASHHP_LAYOUT / var_major) at construction.
+  std::optional<mesh::LayoutKind> layout;
+  /// Huge-page policy; nullopt = snapshot the process resolution order
+  /// (set_default_policy / FLASHHP_HPAGE_TYPE / kNone) at construction.
+  std::optional<mem::HugePolicy> policy;
+  /// Non-null: carve from this shared pool instead of a private one.
+  /// The pool must outlive the runtime.
+  mem::PagePool* pool = nullptr;
+  /// Initial trace sink (see set_trace_sink); usually installed later,
+  /// after the obs::Telemetry for this runtime exists.
+  trace::Sink* trace_sink = nullptr;
+  /// Non-empty: log lines from this runtime's driver thread and lanes
+  /// are prefixed "[tag]" so interleaved-sim logs stay attributable.
+  std::string log_tag;
+};
+
+/// The per-tenant context. Not copyable or movable: meshes, drivers and
+/// arenas hold references into it, so construct it first and keep it
+/// alive past everything built on it.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// The compatibility tenant wrapping the historical process
+  /// singletons; reproduces pre-Runtime behavior bit-for-bit (its
+  /// layout/policy re-resolve dynamically instead of snapshotting, and
+  /// its arena lane count tracks par::threads()).
+  [[nodiscard]] static Runtime& process_default();
+
+  /// This runtime's performance counters and region registry.
+  [[nodiscard]] perf::PerfContext& perf() const noexcept { return *perf_; }
+
+  /// The pool this runtime's unk array, EOS table and arenas carve from.
+  [[nodiscard]] mem::PagePool& page_pool() const noexcept { return *pool_; }
+
+  /// The execution arena this runtime's parallel regions run on.
+  [[nodiscard]] par::ExecArena& arena() const noexcept { return *arena_; }
+
+  /// Lane count of the arena (process_default: tracks par::threads()).
+  [[nodiscard]] int lanes() const noexcept;
+
+  /// The resolved block-data layout (process_default: re-resolved on
+  /// every call, like the old `mesh::default_layout()` defaults).
+  [[nodiscard]] mesh::LayoutKind layout() const;
+
+  /// The resolved huge-page policy (process_default: re-resolved on
+  /// every call).
+  [[nodiscard]] mem::HugePolicy huge_policy() const;
+
+  /// Install (or clear, with null) the sink receiving this runtime's
+  /// spans and step marks. Setup-time, driver thread, outside evolve():
+  /// the driver binds it per step and the arena applies it on every
+  /// lane per region. Unlike the ambient trace::try_install, this is
+  /// per-runtime — two runtimes trace to two sinks concurrently.
+  void set_trace_sink(trace::Sink* sink) noexcept;
+  [[nodiscard]] trace::Sink* trace_sink() const noexcept;
+
+  /// The tag prefixing this runtime's log lines ("" = untagged).
+  [[nodiscard]] const std::string& log_tag() const noexcept {
+    return log_tag_;
+  }
+
+  /// RAII: binds the runtime's trace sink (when one is set) and log tag
+  /// (when non-empty) to the calling thread. The driver opens one over
+  /// each step; anything else running work for a runtime on its own
+  /// thread (setup, checkpointing, report rendering) can do the same.
+  /// Scopes nest and restore on destruction.
+  class BindScope {
+   public:
+    explicit BindScope(const Runtime& runtime);
+    BindScope(const BindScope&) = delete;
+    BindScope& operator=(const BindScope&) = delete;
+
+   private:
+    std::optional<trace::SinkBinding> sink_;
+    std::optional<LogTagScope> tag_;
+  };
+
+ private:
+  struct ProcessTag {};
+  explicit Runtime(ProcessTag);
+
+  // Owned service (null when wrapping a shared/global one) + the active
+  // handle, which is never null after construction.
+  std::unique_ptr<perf::PerfContext> owned_perf_;
+  perf::PerfContext* perf_ = nullptr;
+  std::unique_ptr<mem::PagePool> owned_pool_;
+  mem::PagePool* pool_ = nullptr;
+  std::unique_ptr<par::ExecArena> owned_arena_;
+  par::ExecArena* arena_ = nullptr;
+
+  /// nullopt only on process_default: resolve dynamically.
+  std::optional<mesh::LayoutKind> layout_;
+  std::optional<mem::HugePolicy> policy_;
+
+  std::string log_tag_;
+  /// The per-lane environment the arena applies during regions; points
+  /// at stable storage in this object.
+  par::LaneEnv env_;
+};
+
+}  // namespace fhp::rt

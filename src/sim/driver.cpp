@@ -5,6 +5,7 @@
 
 #include "perf/perf_context.hpp"
 #include "perf/region.hpp"
+#include "rt/runtime.hpp"
 #include "support/log.hpp"
 #include "support/trace.hpp"
 
@@ -17,8 +18,9 @@ Driver::Driver(mesh::AmrMesh& mesh, hydro::HydroSolver& hydro,
       timers_(timers),
       options_(std::move(options)),
       units_(std::move(units)),
-      perf_(units_.perf != nullptr ? *units_.perf
-                                   : perf::PerfContext::global()) {
+      runtime_(units_.runtime != nullptr ? *units_.runtime
+                                         : rt::Runtime::process_default()),
+      perf_(units_.perf != nullptr ? *units_.perf : runtime_.perf()) {
   if (options_.refine_vars.empty()) {
     options_.refine_vars = {mesh::var::kDens, mesh::var::kPres};
   }
@@ -93,8 +95,17 @@ void Driver::trace_regions() {
 
 void Driver::evolve() {
   perf::Timers::Scope total(timers_, "evolution");
+  while (step_once()) {
+  }
+}
 
-  while (step_ < options_.nsteps && time_ < options_.tmax) {
+bool Driver::step_once() {
+  if (step_ >= options_.nsteps || time_ >= options_.tmax) return false;
+  // Everything this step does — spans closed on the driver thread, log
+  // lines, and (via the arena's LaneEnv) work on pool lanes — is
+  // attributed to this driver's runtime.
+  const rt::Runtime::BindScope bound(runtime_);
+  {
     FHP_TRACE_SPAN("driver.step");
     {
       perf::Timers::Scope t(timers_, "compute_dt");
@@ -182,6 +193,7 @@ void Driver::evolve() {
                      << "  leaves=" << mesh_.tree().leaves_morton().size();
     }
   }
+  return true;
 }
 
 }  // namespace fhp::sim

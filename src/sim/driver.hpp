@@ -31,6 +31,10 @@ namespace fhp::perf {
 class PerfContext;  // perf/perf_context.hpp — non-owning pointer only
 }
 
+namespace fhp::rt {
+class Runtime;  // rt/runtime.hpp — non-owning pointer only
+}
+
 namespace fhp::sim {
 
 /// How the driver executes the per-step physics (sweeps + flame).
@@ -66,17 +70,25 @@ using EosTraceFn = std::function<void(tlb::Tracer&, int block)>;
 /// driver is fully wired the moment it exists (this replaced the old
 /// post-construction `set_flame`/`set_gravity`/`set_machine`/
 /// `set_eos_trace` mutators, which allowed half-wired drivers to run).
-/// All pointers are non-owning and may be null; null `perf` means
-/// `perf::PerfContext::global()`.
+/// All pointers are non-owning and may be null.
+///
+/// `runtime` is the context this driver executes in: null means
+/// `rt::Runtime::process_default()`, which reproduces the historical
+/// process-singleton behavior bit-for-bit. A setup built on an explicit
+/// runtime passes it here (and should already have built its mesh from
+/// `runtime.page_pool()` / `&runtime.arena()` — the setup classes do
+/// both). Null `perf` means the runtime's PerfContext.
 struct DriverUnits {
   flame::AdrFlame* flame = nullptr;          ///< operator-split burning
   gravity::MonopoleGravity* gravity = nullptr;  ///< monopole gravity
   tlb::Machine* machine = nullptr;  ///< machine model (enables tracing)
   EosTraceFn eos_trace;             ///< per-block EOS replay hook
   perf::PerfContext* perf = nullptr;  ///< context PerfRegions commit into
-  // Span tracing needs no wiring here: the driver marks steps through the
-  // ambient support/trace.hpp facade (install an obs::Telemetry to
-  // collect them) — sim does not depend on the obs layer.
+  rt::Runtime* runtime = nullptr;   ///< execution context (null = process)
+  // Span tracing needs no wiring beyond the runtime: the driver binds
+  // the runtime's trace sink around each step (the ambient
+  // support/trace.hpp facade remains the fallback when the runtime has
+  // no sink) — sim does not depend on the obs layer.
 };
 
 /// The driver. Non-owning references; the setup wires everything through
@@ -87,8 +99,17 @@ class Driver {
          perf::Timers& timers, DriverOptions options,
          DriverUnits units = {});
 
-  /// Run the evolution loop.
+  /// Run the evolution loop (step_once until the budgets are spent).
   void evolve();
+
+  /// Advance exactly one time step; returns false (and does nothing)
+  /// once the step or simulated-time budget is spent. This is the unit
+  /// multi-tenant schedulers interleave: each call binds the runtime's
+  /// trace sink and log tag, runs entirely on the runtime's arena, and
+  /// leaves the lanes quiescent, so calls on different Drivers (even
+  /// concurrently from two threads, one thread per driver) produce the
+  /// same physics and published counters as each driver running solo.
+  bool step_once();
 
   [[nodiscard]] double sim_time() const noexcept { return time_; }
   [[nodiscard]] int steps() const noexcept { return step_; }
@@ -109,6 +130,7 @@ class Driver {
   perf::Timers& timers_;
   DriverOptions options_;
   DriverUnits units_;
+  rt::Runtime& runtime_;
   perf::PerfContext& perf_;
   std::unique_ptr<StepGraph> step_graph_;  ///< non-null under kTaskGraph
   par::TaskGraph::Stats sched_stats_;

@@ -90,8 +90,10 @@ class StepGraph {
   double dt_ = 0.0;
 
   std::vector<int> leaves_;  ///< leaves_morton captured at rebuild
-  par::TaskGraph forward_;   ///< sweep order 0..ndim-1
-  par::TaskGraph backward_;  ///< sweep order ndim-1..0
+  /// Both graphs schedule on the mesh's arena, so a task-mode step
+  /// claims its own runtime's region slot (not the process one).
+  par::TaskGraph forward_{&mesh_.arena()};   ///< sweep order 0..ndim-1
+  par::TaskGraph backward_{&mesh_.arena()};  ///< sweep order ndim-1..0
   par::TaskGraph::Stats stats_;
 };
 

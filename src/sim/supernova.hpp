@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "eos/eos_table.hpp"
 #include "flame/adr.hpp"
@@ -21,6 +22,7 @@
 #include "mem/huge_policy.hpp"
 #include "mesh/amr_mesh.hpp"
 #include "mesh/layout.hpp"
+#include "rt/runtime.hpp"
 
 namespace fhp::sim {
 
@@ -59,11 +61,17 @@ inline constexpr int kCount = 5;
 /// Assembled supernova problem.
 class SupernovaSetup {
  public:
-  /// \param pool the PagePool mesh storage is carved from; nullptr uses
-  ///        the process-wide pool.
+  /// \param runtime the execution context the problem lives in: mesh and
+  ///        Helm-table storage come from `runtime.page_pool()`, block
+  ///        loops run on `runtime.arena()`, and the mesh layout defaults
+  ///        to `runtime.layout()`. Pass `rt::Runtime::process_default()`
+  ///        for the historical process-wide behavior. The runtime must
+  ///        outlive the setup.
+  /// \param layout overrides the runtime's layout (layout-ablation
+  ///        benches sweep this without building a runtime per point).
   SupernovaSetup(const SupernovaParams& params, mem::HugePolicy policy,
-                 mesh::LayoutKind layout = mesh::default_layout(),
-                 mem::PagePool* pool = nullptr);
+                 rt::Runtime& runtime,
+                 std::optional<mesh::LayoutKind> layout = std::nullopt);
 
   [[nodiscard]] mesh::AmrMesh& mesh() noexcept { return *mesh_; }
   [[nodiscard]] const eos::HelmTableEos& eos() const noexcept { return *eos_; }

@@ -8,6 +8,10 @@
 
 namespace fhp {
 
+namespace detail {
+thread_local constinit const char* t_log_tag = nullptr;
+}  // namespace detail
+
 const char* log_level_tag(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -57,11 +61,20 @@ void Logger::write(LogLevel level, std::string_view message) {
   std::snprintf(stamp, sizeof stamp, "%02d:%02d:%02d", tm.tm_hour, tm.tm_min,
                 tm.tm_sec);
 
-  std::fprintf(stderr, "[%s %s] %.*s\n", stamp, log_level_tag(level),
-               static_cast<int>(message.size()), message.data());
+  const char* tag = detail::t_log_tag;
+  if (tag != nullptr && *tag == '\0') tag = nullptr;
+
+  if (tag != nullptr) {
+    std::fprintf(stderr, "[%s %s] [%s] %.*s\n", stamp, log_level_tag(level),
+                 tag, static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[%s %s] %.*s\n", stamp, log_level_tag(level),
+                 static_cast<int>(message.size()), message.data());
+  }
   if (file_.is_open()) {
-    file_ << '[' << stamp << ' ' << log_level_tag(level) << "] " << message
-          << '\n';
+    file_ << '[' << stamp << ' ' << log_level_tag(level) << "] ";
+    if (tag != nullptr) file_ << '[' << tag << "] ";
+    file_ << message << '\n';
     file_.flush();
   }
 }

@@ -50,6 +50,31 @@ class Logger {
 };
 
 namespace detail {
+/// Per-thread log-line tag (null = untagged). Lines written while a tag
+/// is in effect are prefixed "[tag]" so interleaved runtimes sharing the
+/// one process logger stay attributable. constinit thread_local for the
+/// same `_ZTH` reason as fhp::detail::t_lane (support/lane.hpp).
+extern thread_local constinit const char* t_log_tag;
+}  // namespace detail
+
+/// RAII thread-local log tag: while alive, FHP_LOG lines emitted by this
+/// thread carry \p tag. rt::Runtime uses this to label its driver thread
+/// (and, via par::LaneEnv, its pool lanes) with the runtime's log_tag.
+/// Scopes nest (save/restore); a null or empty tag restores "untagged".
+class LogTagScope {
+ public:
+  explicit LogTagScope(const char* tag) noexcept : saved_(detail::t_log_tag) {
+    detail::t_log_tag = tag;
+  }
+  ~LogTagScope() { detail::t_log_tag = saved_; }
+  LogTagScope(const LogTagScope&) = delete;
+  LogTagScope& operator=(const LogTagScope&) = delete;
+
+ private:
+  const char* saved_;
+};
+
+namespace detail {
 /// Builds a log line with ostream syntax and submits it on destruction.
 class LogLine {
  public:

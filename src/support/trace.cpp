@@ -6,6 +6,9 @@ namespace detail {
 
 std::atomic<Sink*> g_sink{nullptr};
 
+thread_local constinit Sink* t_sink = nullptr;
+thread_local constinit bool t_sink_bound = false;
+
 namespace {
 /// Span nesting depth of the executing thread. Each lane traces its own
 /// call stack, so depth is thread-local, not sink-global.

@@ -60,15 +60,51 @@ namespace detail {
 /// The ambient installed sink (null = tracing disabled). Exposed so
 /// SpanScope's disabled check inlines to a single atomic load.
 extern std::atomic<Sink*> g_sink;
+/// Per-thread sink override (valid only while t_sink_bound). constinit
+/// thread_local for the same reason as fhp::detail::t_lane — a constant
+/// initializer keeps the access a plain TLS load with no `_ZTH` wrapper
+/// (see support/lane.hpp for the full rationale).
+extern thread_local constinit Sink* t_sink;
+extern thread_local constinit bool t_sink_bound;
 /// Per-thread span nesting depth bookkeeping for SpanScope.
 [[nodiscard]] std::uint16_t enter_span() noexcept;
 void exit_span() noexcept;
 }  // namespace detail
 
-/// The ambient sink, or null when tracing is disabled.
+/// The sink visible to the calling thread: a thread-local binding when
+/// one is in effect (see SinkBinding), the ambient sink otherwise. Null
+/// = tracing disabled for this thread.
 [[nodiscard]] inline Sink* sink() noexcept {
+  if (detail::t_sink_bound) return detail::t_sink;
   return detail::g_sink.load(std::memory_order_acquire);
 }
+
+/// RAII thread-local sink binding: while alive, this thread's spans,
+/// step marks and SpanScopes resolve to \p s instead of the ambient
+/// sink (binding null masks the ambient sink for this thread). This is
+/// how an rt::Runtime scopes its telemetry to its own driver thread and
+/// pool lanes without publishing a process-wide sink: the driver binds
+/// inside evolve(), and par applies the owning arena's LaneEnv on every
+/// worker lane for the duration of a region. Bindings nest (save/
+/// restore), and each binds only the constructing thread.
+class SinkBinding {
+ public:
+  explicit SinkBinding(Sink* s) noexcept
+      : saved_sink_(detail::t_sink), saved_bound_(detail::t_sink_bound) {
+    detail::t_sink = s;
+    detail::t_sink_bound = true;
+  }
+  ~SinkBinding() {
+    detail::t_sink = saved_sink_;
+    detail::t_sink_bound = saved_bound_;
+  }
+  SinkBinding(const SinkBinding&) = delete;
+  SinkBinding& operator=(const SinkBinding&) = delete;
+
+ private:
+  Sink* saved_sink_;
+  bool saved_bound_;
+};
 
 /// Publish \p s as the ambient sink. Returns false (and installs
 /// nothing) when another sink is already installed.

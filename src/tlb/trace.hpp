@@ -19,6 +19,37 @@
 
 namespace fhp::tlb {
 
+/// Fabricated base address for modeling a traced memory region (the unk
+/// solution array, the Helm table, per-rank kernel scratch). A replay
+/// must describe the same address stream every run: Machine::touch does
+/// page- and set-index arithmetic on the raw bits, so modeling the
+/// *actual* mapping would couple the published counters to wherever the
+/// kernel happened to place it — which varies with ASLR, allocator
+/// (sanitizer runs), thread-stack placement, and what was mapped
+/// earlier in the process. Multi-tenant runs make that observable: the
+/// bit-identity contract (a driver's counters match its solo run, see
+/// tests/test_runtime.cpp) only holds if the replayed stream is
+/// placement-invariant. Kernels therefore model each traced region at a
+/// fixed per-slot virtual base; the pointers are never dereferenced.
+/// Slots are 16 GiB apart (no traced region approaches that) and the
+/// base is 2 MiB-aligned, so modeled regions never share a page at any
+/// supported page size and every slot base has the alignment of a
+/// PMD-mapped region. Page-size behavior is still real: the translation
+/// shift fed to touch() comes from the *actual* mapping's
+/// effective_page_shift().
+[[nodiscard]] inline const void* synthetic_scratch(
+    std::uintptr_t slot, std::uintptr_t offset = 0) noexcept {
+  constexpr std::uintptr_t kBase = std::uintptr_t{0x5C3A} << 32;
+  constexpr std::uintptr_t kSlotStride = std::uintptr_t{1} << 34;
+  return reinterpret_cast<const void*>(kBase + slot * kSlotStride + offset);
+}
+
+/// The synthetic_scratch slots in use (one per traced region).
+inline constexpr std::uintptr_t kHydroPencilScratchSlot = 0;
+inline constexpr std::uintptr_t kEosRowScratchSlot = 1;
+inline constexpr std::uintptr_t kUnkTraceSlot = 2;
+inline constexpr std::uintptr_t kHelmTableTraceSlot = 3;
+
 /// Lightweight handle kernels use to replay accesses.
 class Tracer {
  public:

@@ -8,6 +8,7 @@
 
 #include "eos/gamma_eos.hpp"
 #include "hydro/hydro.hpp"
+#include "rt/runtime.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/sedov.hpp"
 #include "sim/sedov_exact.hpp"
@@ -15,6 +16,11 @@
 
 namespace fhp::sim {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise checkpoint round-trips, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 using mesh::var::kDens;
 using mesh::var::kEner;
@@ -102,7 +108,8 @@ void paint(mesh::AmrMesh& m) {
 }
 
 TEST(CheckpointTest, RoundTripRestoresTopologyAndData) {
-  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone,
+                         proc().layout(), proc().page_pool());
   // A non-trivial tree: refine block 0, then one of its children.
   original.refine_block(0);
   original.refine_block(original.tree().find(2, {0, 0, 0}));
@@ -111,7 +118,8 @@ TEST(CheckpointTest, RoundTripRestoresTopologyAndData) {
 
   write_checkpoint("ckpt_roundtrip.bin", original, {0.125, 42});
 
-  mesh::AmrMesh restored(ckpt_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh restored(ckpt_config(), mem::HugePolicy::kNone,
+                         proc().layout(), proc().page_pool());
   const CheckpointInfo info =
       read_checkpoint("ckpt_roundtrip.bin", restored);
   EXPECT_DOUBLE_EQ(info.sim_time, 0.125);
@@ -141,8 +149,9 @@ TEST(CheckpointTest, RestartContinuesBitExactly) {
   // restore into a fresh mesh, 4 more. The results must agree bit for bit
   // (this is FLASH's restart guarantee).
   auto build = []() {
-    auto m = std::make_unique<mesh::AmrMesh>(ckpt_config(),
-                                             mem::HugePolicy::kNone);
+    auto m = std::make_unique<mesh::AmrMesh>(
+        ckpt_config(), mem::HugePolicy::kNone, proc().layout(),
+        proc().page_pool());
     const mesh::MeshConfig& c = m->config();
     m->for_leaf_cells([&](int b, int i, int j, int k) {
       const double x = m->xcenter(b, i);
@@ -173,8 +182,9 @@ TEST(CheckpointTest, RestartContinuesBitExactly) {
     for (int n = 0; n < 4; ++n) solver_b.step(1e-3);
     write_checkpoint("ckpt_restart.bin", *run_b, {4e-3, 4});
   }
-  auto run_c = std::make_unique<mesh::AmrMesh>(ckpt_config(),
-                                               mem::HugePolicy::kNone);
+  auto run_c = std::make_unique<mesh::AmrMesh>(
+      ckpt_config(), mem::HugePolicy::kNone, proc().layout(),
+      proc().page_pool());
   read_checkpoint("ckpt_restart.bin", *run_c);
   hydro::HydroSolver solver_c(*run_c, gamma);
   // Match run A's sweep-order phase (4 steps already taken).
@@ -193,18 +203,21 @@ TEST(CheckpointTest, RestartContinuesBitExactly) {
 }
 
 TEST(CheckpointTest, ConfigMismatchRejected) {
-  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone,
+                         proc().layout(), proc().page_pool());
   paint(original);
   write_checkpoint("ckpt_mismatch.bin", original, {});
 
   mesh::MeshConfig other = ckpt_config();
   other.nscalars = 2;  // different layout
-  mesh::AmrMesh wrong(other, mem::HugePolicy::kNone);
+  mesh::AmrMesh wrong(other, mem::HugePolicy::kNone, proc().layout(),
+                      proc().page_pool());
   EXPECT_THROW(read_checkpoint("ckpt_mismatch.bin", wrong), ConfigError);
 }
 
 TEST(CheckpointTest, MissingAndCorruptFilesRejected) {
-  mesh::AmrMesh m(ckpt_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(ckpt_config(), mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   EXPECT_THROW(read_checkpoint("nonexistent.bin", m), SystemError);
   // A file with the wrong magic is rejected before any topology change.
   std::FILE* f = std::fopen("ckpt_garbage.bin", "wb");
@@ -214,11 +227,13 @@ TEST(CheckpointTest, MissingAndCorruptFilesRejected) {
 }
 
 TEST(CheckpointTest, RequiresAFreshMesh) {
-  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone,
+                         proc().layout(), proc().page_pool());
   paint(original);
   write_checkpoint("ckpt_fresh.bin", original, {});
 
-  mesh::AmrMesh busy(ckpt_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh busy(ckpt_config(), mem::HugePolicy::kNone,
+                     proc().layout(), proc().page_pool());
   busy.refine_block(0);  // not fresh any more
   EXPECT_THROW(read_checkpoint("ckpt_fresh.bin", busy), ConfigError);
 }

@@ -16,12 +16,18 @@
 #include "mem/page_size.hpp"
 #include "mesh/config.hpp"
 #include "mesh/unk.hpp"
+#include "rt/runtime.hpp"
 #include "support/contracts.hpp"
 #include "tlb/machine.hpp"
 #include "tlb/trace.hpp"
 
 namespace fhp {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise API boundary contracts, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 // ------------------------------------------------------------- the macros
 
@@ -102,7 +108,8 @@ TEST(ArenaContracts, HugeAllocatorOverflowThrows) {
 TEST(ArenaContracts, HugeBufferOverflowThrows) {
   const std::size_t huge_count =
       std::numeric_limits<std::size_t>::max() / sizeof(double) + 1;
-  EXPECT_THROW(mem::HugeBuffer<double>(huge_count, mem::HugePolicy::kNone),
+  EXPECT_THROW(mem::HugeBuffer<double>(huge_count, mem::HugePolicy::kNone,
+                                       proc().page_pool()),
                ConfigError);
 }
 
@@ -144,7 +151,10 @@ TEST(MappedRegionContracts, ContainsTracksTheMappedRange) {
 class UnkSweepContracts : public ::testing::Test {
  protected:
   UnkSweepContracts()
-      : machine_(), tracer_(&machine_), unk_(config(), mem::HugePolicy::kNone) {}
+      : machine_(),
+        tracer_(&machine_),
+        unk_(config(), mem::HugePolicy::kNone, proc().layout(),
+             proc().page_pool()) {}
 
   static mesh::MeshConfig config() {
     mesh::MeshConfig c;

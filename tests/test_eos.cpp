@@ -10,12 +10,18 @@
 #include "eos/fermi_dirac.hpp"
 #include "eos/gamma_eos.hpp"
 #include "eos/helmholtz_eos.hpp"
+#include "rt/runtime.hpp"
 #include "support/constants.hpp"
 #include "support/error.hpp"
 #include "tlb/machine.hpp"
 
 namespace fhp::eos {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise the tabulated EOS, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 namespace c = fhp::constants;
 
@@ -306,8 +312,8 @@ TEST(HelmholtzEosTest, Gamma1BetweenLimits) {
 /// Small shared table for the table tests (built once).
 const HelmTable& test_table() {
   static HelmTable table = HelmTable::build_or_load(
-      HelmTableSpec{-4.0, 10.0, 141, 5.0, 10.0, 51},
-      mem::HugePolicy::kNone, "helm_table_test.bin");
+      HelmTableSpec{-4.0, 10.0, 141, 5.0, 10.0, 51}, mem::HugePolicy::kNone,
+      proc().page_pool(), "helm_table_test.bin");
   return table;
 }
 
@@ -361,10 +367,11 @@ TEST(HelmTableTest, OutOfRangeThrows) {
 
 TEST(HelmTableTest, SaveLoadRoundTrip) {
   const HelmTableSpec spec{-2.0, 8.0, 21, 6.0, 9.0, 11};
-  HelmTable built = HelmTable::build(spec, mem::HugePolicy::kNone);
+  HelmTable built =
+      HelmTable::build(spec, mem::HugePolicy::kNone, proc().page_pool());
   built.save("helm_roundtrip.bin");
-  auto loaded =
-      HelmTable::load(spec, mem::HugePolicy::kNone, "helm_roundtrip.bin");
+  auto loaded = HelmTable::load(spec, mem::HugePolicy::kNone,
+                                proc().page_pool(), "helm_roundtrip.bin");
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->node(HelmTable::kP, 10, 5),
             built.node(HelmTable::kP, 10, 5));
@@ -372,7 +379,8 @@ TEST(HelmTableTest, SaveLoadRoundTrip) {
   HelmTableSpec other = spec;
   other.nrho = 22;
   EXPECT_FALSE(
-      HelmTable::load(other, mem::HugePolicy::kNone, "helm_roundtrip.bin")
+      HelmTable::load(other, mem::HugePolicy::kNone, proc().page_pool(),
+                      "helm_roundtrip.bin")
           .has_value());
 }
 
@@ -389,7 +397,7 @@ TEST(HelmTableTest, TraceTouchesTableBytes) {
 TEST(HelmTableEosTest, MatchesDirectEosThroughAssembly) {
   auto table = std::make_shared<HelmTable>(HelmTable::build_or_load(
       HelmTableSpec{-4.0, 10.0, 141, 5.0, 10.0, 51}, mem::HugePolicy::kNone,
-      "helm_table_test.bin"));
+      proc().page_pool(), "helm_table_test.bin"));
   const HelmTableEos tabulated(table);
   const HelmholtzEos direct;
 
@@ -409,7 +417,7 @@ TEST(HelmTableEosTest, MatchesDirectEosThroughAssembly) {
 TEST(HelmTableEosTest, InversionRoundTripThroughTable) {
   auto table = std::make_shared<HelmTable>(HelmTable::build_or_load(
       HelmTableSpec{-4.0, 10.0, 141, 5.0, 10.0, 51}, mem::HugePolicy::kNone,
-      "helm_table_test.bin"));
+      proc().page_pool(), "helm_table_test.bin"));
   const HelmTableEos eos(table);
   State s;
   s.abar = 13.714;
@@ -426,7 +434,7 @@ TEST(HelmTableEosTest, InversionRoundTripThroughTable) {
 TEST(HelmTableEosTest, TemperatureFloorClampsInsteadOfThrowing) {
   auto table = std::make_shared<HelmTable>(HelmTable::build_or_load(
       HelmTableSpec{-4.0, 10.0, 141, 5.0, 10.0, 51}, mem::HugePolicy::kNone,
-      "helm_table_test.bin"));
+      proc().page_pool(), "helm_table_test.bin"));
   const HelmTableEos eos(table);
   State s;
   s.abar = 13.714;
@@ -441,10 +449,10 @@ TEST(HelmTableEosTest, TemperatureFloorClampsInsteadOfThrowing) {
 
 TEST(HelmTableTest, SpecValidation) {
   EXPECT_THROW(HelmTable::build(HelmTableSpec{0, 1, 2, 0, 1, 8},
-                                mem::HugePolicy::kNone),
+                                mem::HugePolicy::kNone, proc().page_pool()),
                ConfigError);
   EXPECT_THROW(HelmTable::build(HelmTableSpec{5, 1, 8, 0, 1, 8},
-                                mem::HugePolicy::kNone),
+                                mem::HugePolicy::kNone, proc().page_pool()),
                ConfigError);
 }
 

@@ -12,11 +12,17 @@
 #include "gravity/monopole.hpp"
 #include "gravity/white_dwarf.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "rt/runtime.hpp"
 #include "support/constants.hpp"
 #include "support/error.hpp"
 
 namespace fhp {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise flame and gravity physics, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 namespace c = constants;
 using mesh::var::kDens;
@@ -134,7 +140,8 @@ double front_position(mesh::AmrMesh& m) {
 }
 
 TEST(AdrFlame, FrontPropagatesAtThePrescribedSpeed) {
-  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   const double rho = 1.0e9;
   plant_front(m, 1.0e7, rho);
 
@@ -165,7 +172,8 @@ TEST(AdrFlame, FrontPropagatesAtThePrescribedSpeed) {
 }
 
 TEST(AdrFlame, ReleasesEnergyAndConvertsFuel) {
-  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   plant_front(m, 1.0e7, 1.0e9);
   const flame::FlameSpeedTable speeds;
   flame::AdrOptions opts;
@@ -187,7 +195,8 @@ TEST(AdrFlame, ReleasesEnergyAndConvertsFuel) {
 }
 
 TEST(AdrFlame, QuenchesBelowDensityFloor) {
-  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   plant_front(m, 1.0e7, 1.0e4);  // far below rho_min = 1e6
   const flame::FlameSpeedTable speeds;
   flame::AdrFlame flame(m, speeds, {});
@@ -201,7 +210,8 @@ TEST(AdrFlame, QuenchesBelowDensityFloor) {
 }
 
 TEST(AdrFlame, PhiStaysInUnitInterval) {
-  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   plant_front(m, 2.0e7, 1.0e9);
   const flame::FlameSpeedTable speeds;
   flame::AdrFlame flame(m, speeds, {});
@@ -220,7 +230,8 @@ TEST(AdrFlame, PhiStaysInUnitInterval) {
 }
 
 TEST(AdrFlame, ScalarSlotValidation) {
-  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(flame_config(), mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   const flame::FlameSpeedTable speeds;
   flame::AdrOptions bad;
   bad.phi_scalar = 7;  // only 3 scalars configured
@@ -246,7 +257,8 @@ mesh::MeshConfig gravity_config() {
 }
 
 TEST(MonopoleGravity, UniformSphereMatchesAnalyticProfile) {
-  mesh::AmrMesh m(gravity_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(gravity_config(), mem::HugePolicy::kNone,
+                  proc().layout(), proc().page_pool());
   const double rho0 = 1.0e7, r_star = 5.0e8;
   m.for_leaf_cells([&](int b, int i, int j, int k) {
     const double r = m.xcenter(b, i);
@@ -275,7 +287,8 @@ TEST(MonopoleGravity, UniformSphereMatchesAnalyticProfile) {
 
 TEST(MonopoleGravity, AccelPointsAtTheCenter) {
   gravity::MonopoleGravity grav({0.0, 0.0, 0.0}, 64);
-  mesh::AmrMesh m(gravity_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(gravity_config(), mem::HugePolicy::kNone,
+                  proc().layout(), proc().page_pool());
   m.for_leaf_cells([&](int b, int i, int j, int k) {
     m.unk().at(kDens, i, j, k, b) = 1.0e5;
   });
@@ -291,7 +304,8 @@ TEST(MonopoleGravity, AccelPointsAtTheCenter) {
 }
 
 TEST(MonopoleGravity, ApplySourceUpdatesMomentumAndEnergy) {
-  mesh::AmrMesh m(gravity_config(), mem::HugePolicy::kNone);
+  mesh::AmrMesh m(gravity_config(), mem::HugePolicy::kNone,
+                  proc().layout(), proc().page_pool());
   m.for_leaf_cells([&](int b, int i, int j, int k) {
     m.unk().at(kDens, i, j, k, b) = 1.0e7;
     m.unk().at(kEner, i, j, k, b) = 1.0e15;
@@ -320,7 +334,8 @@ const eos::HelmTableEos& wd_eos() {
   static auto table = std::make_shared<eos::HelmTable>(
       eos::HelmTable::build_or_load(
           eos::HelmTableSpec{-4.0, 10.0, 141, 5.0, 10.0, 51},
-          mem::HugePolicy::kNone, "helm_table_test.bin"));
+          mem::HugePolicy::kNone, proc().page_pool(),
+          "helm_table_test.bin"));
   static eos::HelmTableEos eos(table);
   return eos;
 }

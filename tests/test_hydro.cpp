@@ -11,10 +11,16 @@
 #include "hydro/hydro.hpp"
 #include "hydro/riemann.hpp"
 #include "mesh/amr_mesh.hpp"
+#include "rt/runtime.hpp"
 #include "support/error.hpp"
 
 namespace fhp::hydro {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise hydro numerics, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 using mesh::var::kDens;
 using mesh::var::kEint;
@@ -153,7 +159,9 @@ struct SodMesh {
     config.lo = {0.0, 0.0, 0.0};
     config.hi = along_y ? std::array<double, 3>{1.0 / nx_blocks, 1.0, 1.0}
                         : std::array<double, 3>{1.0, 1.0 / nx_blocks, 1.0};
-    mesh = std::make_unique<mesh::AmrMesh>(config, mem::HugePolicy::kNone);
+    mesh = std::make_unique<mesh::AmrMesh>(config, mem::HugePolicy::kNone,
+                                           proc().layout(),
+                                           proc().page_pool());
     eos = std::make_unique<eos::GammaEos>(1.4);
     HydroOptions opts;
     opts.cfl = 0.6;
@@ -271,7 +279,8 @@ TEST(AmrConservation, FluxCorrectionKeepsTotalsExact) {
     config.bc[static_cast<std::size_t>(d)][0] = mesh::Bc::kPeriodic;
     config.bc[static_cast<std::size_t>(d)][1] = mesh::Bc::kPeriodic;
   }
-  mesh::AmrMesh amr(config, mem::HugePolicy::kNone);
+  mesh::AmrMesh amr(config, mem::HugePolicy::kNone, proc().layout(),
+                    proc().page_pool());
   // Refine one block: fine-coarse interfaces appear.
   amr.refine_block(0);
 
@@ -322,7 +331,8 @@ TEST(AmrConservation, WithoutCorrectionTotalsDrift) {
   }
 
   auto run = [&config](bool correct) {
-    mesh::AmrMesh amr(config, mem::HugePolicy::kNone);
+    mesh::AmrMesh amr(config, mem::HugePolicy::kNone, proc().layout(),
+                    proc().page_pool());
     amr.refine_block(0);
     eos::GammaEos gamma(1.4);
     HydroOptions opts;

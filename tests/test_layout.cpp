@@ -26,6 +26,7 @@
 #include "mesh/unk.hpp"
 #include "par/parallel.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/driver.hpp"
 #include "sim/sedov.hpp"
@@ -36,6 +37,11 @@
 
 namespace fhp {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise data layouts, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 using mesh::BlockLayout;
 using mesh::LayoutKind;
@@ -205,7 +211,7 @@ MeshConfig small_3d() {
 TEST(LayoutViews, GatherScatterZoneRoundTrips) {
   const MeshConfig c = small_3d();
   for (const LayoutKind kind : kAllLayouts) {
-    UnkContainer unk(c, mem::HugePolicy::kNone, kind);
+    UnkContainer unk(c, mem::HugePolicy::kNone, kind, proc().page_pool());
     for (int v = 0; v < c.nvar(); ++v) {
       unk.at(v, 5, 6, 7, 2) = 100.0 * v + 0.25;
     }
@@ -226,7 +232,7 @@ TEST(LayoutViews, ZoneSpanIsInPlaceOnlyWhenContiguous) {
   const MeshConfig c = small_3d();
   std::vector<double> scratch(static_cast<std::size_t>(c.nscalars));
   for (const LayoutKind kind : kAllLayouts) {
-    UnkContainer unk(c, mem::HugePolicy::kNone, kind);
+    UnkContainer unk(c, mem::HugePolicy::kNone, kind, proc().page_pool());
     for (int s = 0; s < c.nscalars; ++s) {
       unk.at(mesh::var::kFirstScalar + s, 4, 4, 4, 1) = 7.0 + s;
     }
@@ -251,7 +257,8 @@ TEST(LayoutTrace, VarMajorSweepMatchesContiguousZoneVectorReplay) {
   // byte-for-byte under var_major — this is what keeps the golden
   // counters of the paper reproduction unchanged.
   const MeshConfig c = small_3d();
-  const UnkContainer unk(c, mem::HugePolicy::kNone, LayoutKind::kVarMajor);
+  const UnkContainer unk(c, mem::HugePolicy::kNone, LayoutKind::kVarMajor,
+                         proc().page_pool());
   const int nread = c.nvar(), nwrite = 6;
 
   tlb::Machine through_layout;
@@ -290,7 +297,7 @@ TEST(LayoutTrace, ZoneMajorSingleVarSweepCutsModeled4kMisses) {
   // times fewer 4 KiB pages than under var_major.
   const MeshConfig c = small_3d();
   auto misses = [&](LayoutKind kind) {
-    UnkContainer unk(c, mem::HugePolicy::kNone, kind);
+    UnkContainer unk(c, mem::HugePolicy::kNone, kind, proc().page_pool());
     tlb::Machine machine;
     tlb::Tracer tracer(&machine);
     for (int b = 0; b < c.maxblocks; ++b) {
@@ -341,7 +348,7 @@ std::vector<double> run_sedov(LayoutKind layout, int threads) {
   params.nzb = 1;
   params.max_level = 2;
   params.maxblocks = 128;
-  sim::SedovSetup setup(params, mem::HugePolicy::kNone, layout);
+  sim::SedovSetup setup(params, mem::HugePolicy::kNone, proc(), layout);
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroSolver hydro(m, setup.eos());
   perf::Timers timers;
@@ -378,7 +385,7 @@ std::vector<double> run_supernova(LayoutKind layout, int threads) {
   p.maxblocks = 400;
   p.table_spec = {-4.0, 10.0, 141, 5.0, 10.0, 51};
   p.table_cache = "helm_table_layout.bin";
-  sim::SupernovaSetup setup(p, mem::HugePolicy::kNone, layout);
+  sim::SupernovaSetup setup(p, mem::HugePolicy::kNone, proc(), layout);
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroOptions hopt;
   hopt.cfl = 0.6;
@@ -447,7 +454,8 @@ void paint(mesh::AmrMesh& m) {
 
 TEST(LayoutCheckpoint, AnyLayoutRestoresAnyLayoutExactly) {
   for (const LayoutKind writer : kAllLayouts) {
-    mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone, writer);
+    mesh::AmrMesh original(ckpt_config(), mem::HugePolicy::kNone, writer,
+                           proc().page_pool());
     original.refine_block(0);
     original.refine_block(original.tree().find(2, {0, 0, 0}));
     paint(original);
@@ -455,7 +463,8 @@ TEST(LayoutCheckpoint, AnyLayoutRestoresAnyLayoutExactly) {
     sim::write_checkpoint("ckpt_layout.bin", original, {0.5, 7});
 
     for (const LayoutKind reader : kAllLayouts) {
-      mesh::AmrMesh restored(ckpt_config(), mem::HugePolicy::kNone, reader);
+      mesh::AmrMesh restored(ckpt_config(), mem::HugePolicy::kNone, reader,
+                             proc().page_pool());
       const sim::CheckpointInfo info =
           sim::read_checkpoint("ckpt_layout.bin", restored);
       EXPECT_DOUBLE_EQ(info.sim_time, 0.5);

@@ -18,10 +18,16 @@
 #include "mem/procfs.hpp"
 #include "mem/thp.hpp"
 #include "mem/vmstat.hpp"
+#include "rt/runtime.hpp"
 #include "support/error.hpp"
 
 namespace fhp::mem {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise allocators and mapped regions, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 // ------------------------------------------------------------- page sizes
 
@@ -548,7 +554,7 @@ TEST(HugeAllocatorTest, EqualityFollowsArenaIdentity) {
 }
 
 TEST(HugeBufferTest, SizeAndZeroInit) {
-  HugeBuffer<double> buf(1000, HugePolicy::kNone);
+  HugeBuffer<double> buf(1000, HugePolicy::kNone, proc().page_pool());
   EXPECT_EQ(buf.size(), 1000u);
   EXPECT_EQ(buf.span().size(), 1000u);
   for (std::size_t i = 0; i < buf.size(); ++i) {

@@ -11,10 +11,16 @@
 #include "mesh/config.hpp"
 #include "mesh/tree.hpp"
 #include "mesh/unk.hpp"
+#include "rt/runtime.hpp"
 #include "support/error.hpp"
 
 namespace fhp::mesh {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise mesh mechanics, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 MeshConfig small_2d() {
   MeshConfig c;
@@ -84,7 +90,8 @@ TEST(UnkTest, VariableIndexIsFastest) {
   // Pinned to the Fortran layout: this test asserts var_major's specific
   // strides, so it must not float with FLASHHP_LAYOUT (the layout-matrix
   // CI job runs the whole suite under every layout).
-  UnkContainer unk(c, mem::HugePolicy::kNone, LayoutKind::kVarMajor);
+  UnkContainer unk(c, mem::HugePolicy::kNone, LayoutKind::kVarMajor,
+                   proc().page_pool());
   // unk(v, i, j, k, b): v consecutive, i strides by nvar.
   EXPECT_EQ(unk.offset(1, 0, 0, 0, 0) - unk.offset(0, 0, 0, 0, 0), 1u);
   EXPECT_EQ(unk.offset(0, 1, 0, 0, 0) - unk.offset(0, 0, 0, 0, 0),
@@ -96,7 +103,8 @@ TEST(UnkTest, VariableIndexIsFastest) {
 }
 
 TEST(UnkTest, StorageRoundTrip) {
-  UnkContainer unk(small_2d(), mem::HugePolicy::kNone);
+  UnkContainer unk(small_2d(), mem::HugePolicy::kNone, proc().layout(),
+                   proc().page_pool());
   unk.at(3, 5, 7, 0, 2) = 42.5;
   EXPECT_DOUBLE_EQ(unk.at(3, 5, 7, 0, 2), 42.5);
   EXPECT_EQ(unk.ptr(3, 5, 7, 0, 2), &unk.at(3, 5, 7, 0, 2));
@@ -104,7 +112,8 @@ TEST(UnkTest, StorageRoundTrip) {
 
 TEST(UnkTest, SizesMatchConfig) {
   const MeshConfig c = small_2d();
-  UnkContainer unk(c, mem::HugePolicy::kNone);
+  UnkContainer unk(c, mem::HugePolicy::kNone, proc().layout(),
+                   proc().page_pool());
   EXPECT_EQ(unk.bytes(), static_cast<std::size_t>(c.nvar()) * c.ni() *
                              c.nj() * c.nk() * c.maxblocks * sizeof(double));
 }
@@ -251,7 +260,8 @@ TEST(AmrMeshTest, CellCoordinatesAndVolumesCartesian) {
   MeshConfig c = small_2d();
   c.lo = {0.0, 0.0, 0.0};
   c.hi = {1.0, 1.0, 1.0};
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   const int b = 0;
   EXPECT_DOUBLE_EQ(mesh.dx(b, 0), 1.0 / c.nxb);
   EXPECT_DOUBLE_EQ(mesh.xcenter(b, c.ilo()), 0.5 / c.nxb);
@@ -272,7 +282,8 @@ TEST(AmrMeshTest, CylindricalVolumesIntegrateToTorus) {
   c.lo = {0.0, 0.0, 0.0};
   c.hi = {2.0, 1.0, 1.0};
   c.bc[0][0] = Bc::kAxis;
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   double total = 0.0;
   for (int j = c.jlo(); j < c.jhi(); ++j) {
     for (int i = c.ilo(); i < c.ihi(); ++i) {
@@ -306,7 +317,8 @@ void fill_linear(AmrMesh& mesh) {
 TEST(AmrMeshTest, GuardFillReproducesLinearFieldSameLevel) {
   MeshConfig c = small_2d();
   c.nroot = {2, 2, 1};
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   fill_linear(mesh);
   mesh.fill_guardcells();
   // Interior-side guards of block 0 (high-x) must continue the function.
@@ -323,7 +335,8 @@ TEST(AmrMeshTest, GuardFillReproducesLinearFieldSameLevel) {
 TEST(AmrMeshTest, GuardFillInterpolatesFromCoarseExactlyForLinear) {
   MeshConfig c = small_2d();
   c.nroot = {2, 1, 1};
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   fill_linear(mesh);
   mesh.fill_guardcells();
   mesh.refine_block(0);  // block 1 stays coarse: fine-coarse interface
@@ -348,7 +361,8 @@ TEST(AmrMeshTest, GuardFillInterpolatesFromCoarseExactlyForLinear) {
 
 TEST(AmrMeshTest, OutflowBoundaryCopiesEdgeValue) {
   MeshConfig c = small_2d();
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   fill_linear(mesh);
   mesh.fill_guardcells();
   const double edge = mesh.unk().at(0, c.ilo(), c.jlo() + 2, 0, 0);
@@ -360,7 +374,8 @@ TEST(AmrMeshTest, OutflowBoundaryCopiesEdgeValue) {
 TEST(AmrMeshTest, ReflectBoundaryMirrorsAndNegatesNormalVelocity) {
   MeshConfig c = small_2d();
   c.bc[0][0] = Bc::kReflect;
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   fill_linear(mesh);
   mesh.fill_guardcells();
   const int j = c.jlo() + 1;
@@ -378,7 +393,8 @@ TEST(AmrMeshTest, PeriodicGuardsWrapAround) {
   MeshConfig c = small_2d();
   c.nroot = {2, 1, 1};
   c.bc[0][0] = c.bc[0][1] = Bc::kPeriodic;
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   // A distinctive value at the far-right interior of block 1 must appear
   // in the low-x guards of block 0.
   mesh.unk().at(0, c.ihi() - 1, c.jlo(), 0, 1) = 123.0;
@@ -388,7 +404,8 @@ TEST(AmrMeshTest, PeriodicGuardsWrapAround) {
 
 TEST(AmrMeshTest, RestrictionConservesMassCartesian) {
   MeshConfig c = small_2d();
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   fill_linear(mesh);
   mesh.fill_guardcells();
   mesh.refine_block(0);
@@ -403,7 +420,8 @@ TEST(AmrMeshTest, RestrictionConservesMassCartesian) {
 
 TEST(AmrMeshTest, ProlongationIsConservativeAndExactForLinear) {
   MeshConfig c = small_2d();
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   fill_linear(mesh);
   mesh.fill_guardcells();
   const double mass_before = mesh.integrate(var::kDens);
@@ -420,7 +438,8 @@ TEST(AmrMeshTest, ProlongationIsConservativeAndExactForLinear) {
 }
 
 TEST(AmrMeshTest, LoehnerFlatFieldScoresZero) {
-  AmrMesh mesh(small_2d(), mem::HugePolicy::kNone);
+  AmrMesh mesh(small_2d(), mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   // A constant field has no second derivative anywhere — including at
   // the outflow boundaries, whose zero-gradient guards would make a
   // *linear* field look curved in the edge cells.
@@ -435,7 +454,8 @@ TEST(AmrMeshTest, LoehnerFlatFieldScoresZero) {
 
 TEST(AmrMeshTest, LoehnerDiscontinuityScoresHigh) {
   MeshConfig c = small_2d();
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   for (int j = 0; j < c.nj(); ++j) {
     for (int i = 0; i < c.ni(); ++i) {
       mesh.unk().at(0, i, j, 0, 0) = i < c.ni() / 2 ? 1.0 : 10.0;
@@ -448,7 +468,8 @@ TEST(AmrMeshTest, RemeshRefinesDiscontinuityAndKeepsBalance) {
   MeshConfig c = small_2d();
   c.max_level = 3;
   c.maxblocks = 128;
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   auto paint = [&mesh](int v) {
     const MeshConfig& cc = mesh.config();
     for (int b : mesh.tree().leaves_morton()) {
@@ -474,7 +495,8 @@ TEST(AmrMeshTest, RemeshRefinesDiscontinuityAndKeepsBalance) {
 TEST(AmrMeshTest, RemeshDerefinesSmoothRegions) {
   MeshConfig c = small_2d();
   c.max_level = 2;
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   mesh.refine_block(0);  // fully refined, but the data is smooth
   for (int b : mesh.tree().leaves_morton()) {
     for (int j = 0; j < c.nj(); ++j) {
@@ -492,7 +514,8 @@ TEST(AmrMeshTest, RemeshDerefinesSmoothRegions) {
 
 TEST(AmrMeshTest, IntegrateProductMatchesHandComputation) {
   MeshConfig c = small_2d();
-  AmrMesh mesh(c, mem::HugePolicy::kNone);
+  AmrMesh mesh(c, mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   for (int j = c.jlo(); j < c.jhi(); ++j) {
     for (int i = c.ilo(); i < c.ihi(); ++i) {
       mesh.unk().at(var::kDens, i, j, 0, 0) = 2.0;
@@ -504,7 +527,8 @@ TEST(AmrMeshTest, IntegrateProductMatchesHandComputation) {
 }
 
 TEST(AmrMeshTest, ThreeDRefinementProducesEightChildren) {
-  AmrMesh mesh(small_3d(), mem::HugePolicy::kNone);
+  AmrMesh mesh(small_3d(), mem::HugePolicy::kNone, proc().layout(),
+               proc().page_pool());
   const auto kids = mesh.refine_block(0);
   int live = 0;
   for (int kid : kids) {

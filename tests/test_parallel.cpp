@@ -25,6 +25,7 @@
 #include "par/parallel.hpp"
 #include "perf/perf_context.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/driver.hpp"
 #include "sim/sedov.hpp"
 #include "sim/supernova.hpp"
@@ -34,6 +35,11 @@
 
 namespace fhp::par {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// pin lane counts with par::set_threads (the process arena tracks it);
+// tests/test_runtime.cpp covers explicit runtimes.
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 /// Every test leaves the process back at the serial default.
 class ParTest : public ::testing::Test {
@@ -219,7 +225,7 @@ SedovRun run_sedov(int nthreads) {
   params.nzb = 1;
   params.max_level = 3;
   params.maxblocks = 300;
-  sim::SedovSetup setup(params, mem::HugePolicy::kNone);
+  sim::SedovSetup setup(params, mem::HugePolicy::kNone, proc());
   hydro::HydroSolver hydro(setup.mesh(), setup.eos());
   perf::Timers timers;
   sim::DriverOptions opts;
@@ -269,7 +275,7 @@ std::pair<std::uint64_t, std::uint64_t> run_supernova(int nthreads) {
   p.maxblocks = 400;
   p.table_spec = {-4.0, 10.0, 141, 5.0, 10.0, 51};
   p.table_cache = "helm_table_test.bin";
-  sim::SupernovaSetup setup(p, mem::HugePolicy::kNone);
+  sim::SupernovaSetup setup(p, mem::HugePolicy::kNone, proc());
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroOptions hopt;
   hopt.cfl = 0.6;

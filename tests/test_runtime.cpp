@@ -1,0 +1,522 @@
+/// \file test_runtime.cpp
+/// \brief Tests for fhp::rt::Runtime — the explicit per-tenant context.
+///
+/// Four layers:
+///   1. context plumbing — process_default() identity and dynamic
+///      re-resolution, construction-time config snapshots, private vs
+///      injected page pools;
+///   2. execution arenas — per-arena region guards (two arenas mid-region
+///      at once), lane-count reconfiguration between regions, and the
+///      pool_for() regression: set_lanes() while a region is in flight on
+///      another thread must leave that region's leased pool alone;
+///   3. per-runtime observability — two Telemetry sinks installed on two
+///      runtimes trace separate timelines with the ambient slot left
+///      free, and the runtime log tag prefixes driver and lane lines;
+///   4. the PR invariant — a Sedov tenant and a supernova tenant (each on
+///      its own Runtime, with different unk layouts) interleaved
+///      step-by-step on one thread AND run concurrently on two threads,
+///      end states and published counters bit-identical to each tenant
+///      running solo, at 1/2/4 lanes. This file is part of the tsan
+///      workload: the concurrent phase is the data-race test for the
+///      multi-tenant design.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eos/eos_table.hpp"
+#include "hydro/hydro.hpp"
+#include "mem/huge_policy.hpp"
+#include "mesh/amr_mesh.hpp"
+#include "mesh/config.hpp"
+#include "mesh/layout.hpp"
+#include "obs/telemetry.hpp"
+#include "par/parallel.hpp"
+#include "perf/perf_context.hpp"
+#include "perf/timers.hpp"
+#include "rt/runtime.hpp"
+#include "sim/driver.hpp"
+#include "sim/sedov.hpp"
+#include "sim/supernova.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/trace.hpp"
+#include "tlb/machine.hpp"
+
+namespace fhp::sim {
+namespace {
+
+using mesh::LayoutKind;
+
+// ----------------------------------------------------- context plumbing
+
+TEST(RuntimeContext, ProcessDefaultWrapsTheProcessSingletons) {
+  rt::Runtime& a = rt::Runtime::process_default();
+  rt::Runtime& b = rt::Runtime::process_default();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&a.arena(), &par::process_arena());
+
+  // The compatibility tenant re-resolves dynamically: its lane count
+  // tracks set_threads, it does not snapshot.
+  const int previous = par::threads();
+  par::set_threads(3);
+  EXPECT_EQ(a.lanes(), 3);
+  par::set_threads(previous);
+}
+
+TEST(RuntimeContext, ExplicitRuntimeSnapshotsConfigAtConstruction) {
+  const LayoutKind resolved = rt::Runtime::process_default().layout();
+
+  mesh::set_default_layout(LayoutKind::kZoneMajor);
+  rt::RuntimeOptions opts;
+  opts.lanes = 2;
+  rt::Runtime snapshot(opts);  // nullopt layout: snapshot the resolution now
+
+  mesh::set_default_layout(LayoutKind::kTiled);
+  EXPECT_EQ(snapshot.layout(), LayoutKind::kZoneMajor);
+  EXPECT_EQ(rt::Runtime::process_default().layout(), LayoutKind::kTiled);
+  EXPECT_EQ(snapshot.lanes(), 2);
+
+  rt::RuntimeOptions explicit_opts;
+  explicit_opts.lanes = 1;
+  explicit_opts.layout = LayoutKind::kVarMajor;
+  explicit_opts.policy = mem::HugePolicy::kNone;
+  explicit_opts.log_tag = "tenant";
+  rt::Runtime pinned(explicit_opts);
+  EXPECT_EQ(pinned.layout(), LayoutKind::kVarMajor);
+  EXPECT_EQ(pinned.huge_policy(), mem::HugePolicy::kNone);
+  EXPECT_EQ(pinned.log_tag(), "tenant");
+
+  mesh::set_default_layout(resolved);  // restore for later tests
+}
+
+TEST(RuntimeContext, PoolIsPrivateByDefaultAndSharableByInjection) {
+  rt::Runtime private_tenant;
+  EXPECT_NE(&private_tenant.page_pool(),
+            &rt::Runtime::process_default().page_pool());
+  EXPECT_NE(&private_tenant.perf(), &rt::Runtime::process_default().perf());
+  EXPECT_NE(&private_tenant.arena(), &par::process_arena());
+
+  rt::RuntimeOptions opts;
+  opts.pool = &rt::Runtime::process_default().page_pool();
+  rt::Runtime shared_tenant(opts);
+  EXPECT_EQ(&shared_tenant.page_pool(),
+            &rt::Runtime::process_default().page_pool());
+}
+
+// ----------------------------------------------------- execution arenas
+
+TEST(ExecArenaRegions, LaneCountChangeBetweenRegionsTakesEffect) {
+  par::ExecArena arena(2);
+  auto lanes_in_region = [&arena] {
+    std::atomic<int> seen{0};
+    arena.run_region(
+        [&seen](int) { seen.fetch_add(1, std::memory_order_relaxed); });
+    return seen.load(std::memory_order_relaxed);
+  };
+  EXPECT_EQ(arena.lanes(), 2);
+  EXPECT_EQ(lanes_in_region(), 2);
+
+  // The pool_for() regression: reconfiguring between regions must take
+  // effect on the next region (the old code rebuilt a process-global
+  // pool out from under whatever lane count it was built for).
+  arena.set_lanes(4);
+  EXPECT_EQ(arena.lanes(), 4);
+  EXPECT_EQ(lanes_in_region(), 4);
+
+  arena.set_lanes(1);
+  EXPECT_EQ(lanes_in_region(), 1);
+}
+
+TEST(ExecArenaRegions, SetLanesWhileRegionInFlightKeepsTheLease) {
+  par::ExecArena arena(2);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> first_region_lanes{0};
+  std::thread worker([&] {
+    arena.run_region([&](int lane) {
+      first_region_lanes.fetch_add(1, std::memory_order_relaxed);
+      if (lane == 0) {
+        entered.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  });
+  while (!entered.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // Reconfigure while the region is mid-flight on another thread. The
+  // in-flight region holds a refcounted lease on its pool, so its
+  // workers must not be torn down (the old pool_for() deleted the pool
+  // under the running region).
+  arena.set_lanes(4);
+  release.store(true, std::memory_order_release);
+  worker.join();
+  EXPECT_EQ(first_region_lanes.load(), 2);
+
+  std::atomic<int> second_region_lanes{0};
+  arena.run_region([&second_region_lanes](int) {
+    second_region_lanes.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(second_region_lanes.load(), 4);
+}
+
+TEST(ExecArenaRegions, TwoArenasRunRegionsConcurrently) {
+  // Each lane-0 blocks until the other arena's region is also in
+  // flight: with the old process-wide region guard the second region
+  // would have thrown the nested-region ConfigError; with per-arena
+  // guards both proceed.
+  par::ExecArena a(2);
+  par::ExecArena b(2);
+  std::atomic<bool> a_inside{false};
+  std::atomic<bool> b_inside{false};
+  auto meet = [](std::atomic<bool>& mine, std::atomic<bool>& theirs) {
+    mine.store(true, std::memory_order_release);
+    while (!theirs.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  };
+  std::thread other([&] {
+    b.run_region([&](int lane) {
+      if (lane == 0) meet(b_inside, a_inside);
+    });
+  });
+  a.run_region([&](int lane) {
+    if (lane == 0) meet(a_inside, b_inside);
+  });
+  other.join();
+  EXPECT_TRUE(a_inside.load());
+  EXPECT_TRUE(b_inside.load());
+}
+
+// ------------------------------------------- per-runtime observability
+
+TEST(RuntimeTelemetry, PerRuntimeSinksKeepSeparateTimelines) {
+  rt::RuntimeOptions opts;
+  opts.lanes = 2;
+  rt::Runtime tenant_a(opts);
+  rt::Runtime tenant_b(opts);
+
+  obs::TelemetryOptions topts;
+  topts.lanes = 2;
+  obs::Telemetry tel_a(topts);
+  obs::Telemetry tel_b(topts);
+  tel_a.install(tenant_a);
+  tel_b.install(tenant_b);
+
+  // Per-runtime installs leave the ambient process-wide slot free.
+  EXPECT_EQ(obs::Telemetry::current(), nullptr);
+  EXPECT_EQ(tenant_a.trace_sink(), &tel_a);
+
+  tenant_a.arena().parallel_for(
+      64, [](int, std::size_t) { FHP_TRACE_SPAN("tenant_a.work"); });
+  tenant_b.arena().parallel_for(
+      64, [](int, std::size_t) { FHP_TRACE_SPAN("tenant_b.work"); });
+
+  EXPECT_EQ(tel_a.total_spans(), 64u);
+  EXPECT_EQ(tel_b.total_spans(), 64u);
+  const auto hist_a = tel_a.latency_histograms();
+  EXPECT_EQ(hist_a.count("tenant_a.work"), 1u);
+  EXPECT_EQ(hist_a.count("tenant_b.work"), 0u);
+  const auto hist_b = tel_b.latency_histograms();
+  EXPECT_EQ(hist_b.count("tenant_b.work"), 1u);
+  EXPECT_EQ(hist_b.count("tenant_a.work"), 0u);
+
+  // One sink per runtime: a second install on the same runtime throws.
+  obs::Telemetry spare(topts);
+  EXPECT_THROW(spare.install(tenant_a), ConfigError);
+
+  tel_a.uninstall();
+  EXPECT_EQ(tenant_a.trace_sink(), nullptr);
+}
+
+TEST(RuntimeLogTag, TagFollowsTheDriverThreadAndTheLanes) {
+  rt::RuntimeOptions opts;
+  opts.lanes = 2;
+  opts.log_tag = "simA";
+  rt::Runtime tenant(opts);
+
+  const std::string path = "runtime_log_tag_test.log";
+  std::remove(path.c_str());
+  Logger::instance().set_logfile(path);
+  {
+    rt::Runtime::BindScope bound(tenant);
+    FHP_LOG(kInfo) << "tagged driver line";
+  }
+  tenant.arena().parallel_for(
+      2, [](int, std::size_t) { FHP_LOG(kInfo) << "lane line"; });
+  FHP_LOG(kInfo) << "untagged line";
+  Logger::instance().set_logfile("");
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::remove(path.c_str());
+
+  auto count = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("[simA] tagged driver line"), 1u) << text;
+  EXPECT_EQ(count("[simA] lane line"), 2u) << text;
+  EXPECT_EQ(count("untagged line"), 1u) << text;
+  EXPECT_EQ(count("[simA] untagged line"), 0u) << text;
+}
+
+// =====================================================================
+// The PR invariant: two tenants, interleaved and concurrent, each
+// bit-identical to running solo.
+// =====================================================================
+
+/// Canonical end state: every leaf interior zone vector in Morton order,
+/// the final time, and the full published software-counter set (wall
+/// nanos excluded — modeled counters must be exact, wall time is not).
+struct RunResult {
+  std::vector<double> state;
+  perf::CounterSet counters;
+};
+
+void append_canonical_state(const mesh::AmrMesh& m, double time,
+                            std::vector<double>& out) {
+  const mesh::MeshConfig& c = m.config();
+  std::vector<double> zone(static_cast<std::size_t>(c.nvar()));
+  for (int b : m.tree().leaves_morton()) {
+    for (int k = c.klo(); k < c.khi(); ++k) {
+      for (int j = c.jlo(); j < c.jhi(); ++j) {
+        for (int i = c.ilo(); i < c.ihi(); ++i) {
+          m.unk().gather_zone(0, c.nvar(), i, j, k, b, zone.data());
+          out.insert(out.end(), zone.begin(), zone.end());
+        }
+      }
+    }
+  }
+  out.push_back(time);
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.state.size(), b.state.size()) << what;
+  ASSERT_EQ(std::memcmp(a.state.data(), b.state.data(),
+                        a.state.size() * sizeof(double)),
+            0)
+      << what << ": physics state differs";
+  for (std::size_t e = 0; e < perf::kNumEvents; ++e) {
+    if (e == static_cast<std::size_t>(perf::Event::kWallNanos)) continue;
+    EXPECT_EQ(a.counters.values[e], b.counters.values[e])
+        << what << ": counter " << e << " differs";
+  }
+}
+
+rt::RuntimeOptions tenant_options(int lanes, LayoutKind layout,
+                                  const char* tag) {
+  rt::RuntimeOptions opts;
+  opts.lanes = lanes;
+  opts.layout = layout;
+  opts.policy = mem::HugePolicy::kNone;
+  opts.log_tag = tag;
+  return opts;
+}
+
+SedovParams sedov_params() {
+  SedovParams params;
+  params.ndim = 2;
+  params.nzb = 1;
+  params.max_level = 2;
+  params.maxblocks = 128;
+  return params;
+}
+
+SupernovaParams snova_params() {
+  SupernovaParams params;
+  params.max_level = 3;
+  params.maxblocks = 400;
+  params.table_spec = {-4.0, 10.0, 141, 5.0, 10.0, 51};
+  params.table_cache = "helm_table_runtime.bin";
+  return params;
+}
+
+/// One Sedov tenant: its own Runtime (private pool, private perf,
+/// private arena, zone-major layout), setup, solver and driver.
+struct SedovTenant {
+  explicit SedovTenant(int lanes)
+      : runtime(tenant_options(lanes, LayoutKind::kZoneMajor, "sedov")),
+        setup(sedov_params(), mem::HugePolicy::kNone, runtime),
+        hydro(setup.mesh(), setup.eos()),
+        machine({}, &runtime.perf()) {
+    DriverOptions opts;
+    opts.nsteps = 12;
+    opts.trace_sample = 2;  // exercise the modeled counters too
+    opts.verbose = false;
+    DriverUnits units;
+    units.machine = &machine;
+    units.runtime = &runtime;
+    driver.emplace(setup.mesh(), hydro, timers, opts, units);
+  }
+  RunResult result() {
+    RunResult r;
+    append_canonical_state(setup.mesh(), driver->sim_time(), r.state);
+    r.counters = runtime.perf().snapshot();
+    return r;
+  }
+  rt::Runtime runtime;
+  SedovSetup setup;
+  hydro::HydroSolver hydro;
+  perf::Timers timers;
+  tlb::Machine machine;
+  std::optional<Driver> driver;
+};
+
+hydro::HydroOptions snova_hydro_options() {
+  hydro::HydroOptions opts;
+  opts.cfl = 0.6;
+  return opts;
+}
+
+/// One supernova tenant on a different layout, with flame + gravity +
+/// the Helmholtz-table EOS trace hook wired in.
+struct SupernovaTenant {
+  explicit SupernovaTenant(int lanes)
+      : runtime(tenant_options(lanes, LayoutKind::kVarMajor, "snova")),
+        setup(snova_params(), mem::HugePolicy::kNone, runtime),
+        hydro(setup.mesh(), setup.eos(), snova_hydro_options()),
+        machine({}, &runtime.perf()) {
+    hydro.set_composition_fn(setup.composition_fn());
+    DriverOptions opts;
+    opts.nsteps = 4;
+    opts.trace_sample = 2;
+    opts.verbose = false;
+    opts.refine_vars = {mesh::var::kDens,
+                        mesh::var::kFirstScalar + snvar::kPhi};
+    DriverUnits units;
+    units.flame = &setup.flame();
+    units.gravity = &setup.gravity();
+    units.machine = &machine;
+    units.eos_trace = [this](tlb::Tracer& t, int b) {
+      setup.trace_eos_block(t, b);
+    };
+    units.runtime = &runtime;
+    driver.emplace(setup.mesh(), hydro, timers, opts, units);
+  }
+  RunResult result() {
+    RunResult r;
+    append_canonical_state(setup.mesh(), driver->sim_time(), r.state);
+    r.counters = runtime.perf().snapshot();
+    // The flame's serial leaf-order energy reduction is part of the
+    // bit-identity contract; fold it into the comparable state.
+    r.state.push_back(setup.flame().energy_released());
+    return r;
+  }
+  rt::Runtime runtime;
+  SupernovaSetup setup;
+  hydro::HydroSolver hydro;
+  perf::Timers timers;
+  tlb::Machine machine;
+  std::optional<Driver> driver;
+};
+
+struct PairResult {
+  RunResult sedov;
+  RunResult snova;
+};
+
+/// Builds BOTH tenants (solo baselines included — the modeled counters
+/// are a deliberate function of where the pools land in the address
+/// space, so baseline and measured runs must construct identically; what
+/// varies is only who gets stepped), then interleaves step_once() calls
+/// on the calling thread.
+PairResult run_pair_interleaved(int lanes, bool step_sedov,
+                                bool step_snova) {
+  SedovTenant a(lanes);
+  SupernovaTenant b(lanes);
+  bool more = true;
+  while (more) {
+    const bool advanced_a = step_sedov && a.driver->step_once();
+    const bool advanced_b = step_snova && b.driver->step_once();
+    more = advanced_a || advanced_b;
+  }
+  return {a.result(), b.result()};
+}
+
+/// Same contract, but each driver evolves on its own thread, with both
+/// evolutions genuinely overlapping. Nothing about thread placement
+/// needs pinning: every address the machine model replays is synthetic
+/// (tlb::synthetic_scratch), so the modeled counters cannot see where
+/// stacks, pools or tables happened to land.
+PairResult run_pair_concurrent(int lanes, bool step_sedov,
+                               bool step_snova) {
+  SedovTenant a(lanes);
+  SupernovaTenant b(lanes);
+  std::thread snova_thread([&] {
+    if (step_snova) b.driver->evolve();
+  });
+  std::thread sedov_thread([&] {
+    if (step_sedov) a.driver->evolve();
+  });
+  sedov_thread.join();
+  snova_thread.join();
+  return {a.result(), b.result()};
+}
+
+void warm_process() {
+  // Build (or load) the Helm table cache once, so every tenant below
+  // loads the identical table file instead of each paying the build.
+  const SupernovaParams params = snova_params();
+  (void)eos::HelmTable::build_or_load(
+      params.table_spec, mem::HugePolicy::kNone,
+      rt::Runtime::process_default().page_pool(), params.table_cache);
+}
+
+TEST(RuntimePhysics, InterleavedTenantsBitIdenticalToSolo) {
+  warm_process();
+
+  const RunResult sedov_solo = run_pair_interleaved(1, true, false).sedov;
+  const RunResult snova_solo = run_pair_interleaved(1, false, true).snova;
+  ASSERT_GT(sedov_solo.state.size(), 1u);
+  ASSERT_GT(snova_solo.state.size(), 1u);
+
+  for (const int lanes : {1, 2, 4}) {
+    const PairResult pair = run_pair_interleaved(lanes, true, true);
+    expect_identical(sedov_solo, pair.sedov,
+                     "interleaved sedov x " + std::to_string(lanes) +
+                         " lanes");
+    expect_identical(snova_solo, pair.snova,
+                     "interleaved supernova x " + std::to_string(lanes) +
+                         " lanes");
+  }
+}
+
+TEST(RuntimePhysics, ConcurrentTenantsBitIdenticalToSolo) {
+  warm_process();
+
+  const RunResult sedov_solo = run_pair_concurrent(1, true, false).sedov;
+  const RunResult snova_solo = run_pair_concurrent(1, false, true).snova;
+  ASSERT_GT(sedov_solo.state.size(), 1u);
+  ASSERT_GT(snova_solo.state.size(), 1u);
+
+  for (const int lanes : {1, 2, 4}) {
+    const PairResult pair = run_pair_concurrent(lanes, true, true);
+    expect_identical(sedov_solo, pair.sedov,
+                     "concurrent sedov x " + std::to_string(lanes) +
+                         " lanes");
+    expect_identical(snova_solo, pair.snova,
+                     "concurrent supernova x " + std::to_string(lanes) +
+                         " lanes");
+  }
+}
+
+}  // namespace
+}  // namespace fhp::sim

@@ -11,6 +11,7 @@
 #include "perf/perf_context.hpp"
 #include "perf/region.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/driver.hpp"
 #include "sim/profiles.hpp"
 #include "sim/sedov.hpp"
@@ -19,6 +20,11 @@
 
 namespace fhp::sim {
 namespace {
+
+// Process-default execution context for construction sites: these tests
+// exercise the evolution driver, not multi-tenancy (tests/test_runtime.cpp covers explicit
+// runtimes).
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
 
 using mesh::var::kDens;
 using mesh::var::kEner;
@@ -32,7 +38,7 @@ TEST(SedovSetupTest, InitialStateIsAmbientPlusSpike) {
   params.nzb = 1;
   params.max_level = 2;
   params.maxblocks = 64;
-  SedovSetup setup(params, mem::HugePolicy::kNone);
+  SedovSetup setup(params, mem::HugePolicy::kNone, proc());
   mesh::AmrMesh& m = setup.mesh();
 
   double p_min = 1e300, p_max = 0.0;
@@ -52,7 +58,7 @@ TEST(SedovSetupTest, MeshRefinedAroundTheSpike) {
   params.nzb = 1;
   params.max_level = 3;
   params.maxblocks = 128;
-  SedovSetup setup(params, mem::HugePolicy::kNone);
+  SedovSetup setup(params, mem::HugePolicy::kNone, proc());
   EXPECT_EQ(setup.mesh().tree().finest_level(), 3);
   EXPECT_TRUE(setup.mesh().tree().is_balanced());
 }
@@ -72,7 +78,7 @@ TEST(SedovEvolution, TwoDConservesAndExpands) {
   params.nzb = 1;
   params.max_level = 3;
   params.maxblocks = 300;
-  SedovSetup setup(params, mem::HugePolicy::kNone);
+  SedovSetup setup(params, mem::HugePolicy::kNone, proc());
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroSolver hydro(m, setup.eos());
   perf::Timers timers;
@@ -99,7 +105,7 @@ TEST(SedovEvolution, ThreeDShockTracksSimilaritySolution) {
   SedovParams params;  // 3-d defaults
   params.max_level = 2;
   params.maxblocks = 100;
-  SedovSetup setup(params, mem::HugePolicy::kNone);
+  SedovSetup setup(params, mem::HugePolicy::kNone, proc());
   hydro::HydroSolver hydro(setup.mesh(), setup.eos());
   perf::Timers timers;
   DriverOptions opts;
@@ -125,7 +131,8 @@ TEST(RadialProfileTest, BinsAndAveragesKnownField) {
   cfg.nyb = 32;
   cfg.nroot = {2, 2, 1};
   cfg.maxblocks = 16;
-  mesh::AmrMesh m(cfg, mem::HugePolicy::kNone);
+  mesh::AmrMesh m(cfg, mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   // f(r) = r around the domain center.
   m.for_leaf_cells([&](int b, int i, int j, int k) {
     const double x = m.xcenter(b, i) - 0.5;
@@ -147,7 +154,8 @@ TEST(RadialProfileTest, SteepestGradientFindsAStep) {
   cfg.nyb = 32;
   cfg.nroot = {2, 2, 1};
   cfg.maxblocks = 16;
-  mesh::AmrMesh m(cfg, mem::HugePolicy::kNone);
+  mesh::AmrMesh m(cfg, mem::HugePolicy::kNone, proc().layout(),
+                  proc().page_pool());
   m.for_leaf_cells([&](int b, int i, int j, int k) {
     const double x = m.xcenter(b, i) - 0.5;
     const double y = m.ycenter(b, j) - 0.5;
@@ -170,7 +178,7 @@ SupernovaParams small_supernova() {
 }
 
 TEST(SupernovaSetupTest, BuildsAHydrostaticStarWithIgnition) {
-  SupernovaSetup setup(small_supernova(), mem::HugePolicy::kNone);
+  SupernovaSetup setup(small_supernova(), mem::HugePolicy::kNone, proc());
   EXPECT_GT(setup.wd().mass() / 1.98847e33, 1.2);
   mesh::AmrMesh& m = setup.mesh();
   // Central density on the mesh close to the model's rho_c.
@@ -199,7 +207,7 @@ TEST(SupernovaSetupTest, CompositionFunctionMapsMixtures) {
 }
 
 TEST(SupernovaEvolution, FiftyStepFlameReleasesEnergy) {
-  SupernovaSetup setup(small_supernova(), mem::HugePolicy::kNone);
+  SupernovaSetup setup(small_supernova(), mem::HugePolicy::kNone, proc());
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroOptions hopt;
   hopt.cfl = 0.6;
@@ -244,7 +252,7 @@ TEST(ReproductionShape, HugePagesCutEosDtlbMissesButNotTime) {
     // pattern to be faithful; the T range is trimmed for build speed.
     p.table_spec = {-4.0, 10.0, 541, 5.0, 10.0, 41};
     p.table_cache = "helm_table_shape.bin";
-    SupernovaSetup setup(p, policy);
+    SupernovaSetup setup(p, policy, proc());
     mesh::AmrMesh& m = setup.mesh();
     hydro::HydroOptions hopt;
     hopt.cfl = 0.6;

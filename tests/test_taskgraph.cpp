@@ -35,6 +35,7 @@
 #include "par/task_graph.hpp"
 #include "perf/perf_context.hpp"
 #include "perf/timers.hpp"
+#include "rt/runtime.hpp"
 #include "sim/driver.hpp"
 #include "sim/sedov.hpp"
 #include "sim/supernova.hpp"
@@ -230,6 +231,11 @@ TEST(TaskGraphAdversarial, FifoScheduleIsSubmissionOrderForFreeTasks) {
 namespace fhp::sim {
 namespace {
 
+// Process-default execution context for construction sites: these tests
+// pin lane counts with par::set_threads (the process arena tracks it);
+// tests/test_runtime.cpp covers explicit runtimes.
+rt::Runtime& proc() { return rt::Runtime::process_default(); }
+
 using mesh::LayoutKind;
 
 constexpr LayoutKind kAllLayouts[] = {LayoutKind::kVarMajor,
@@ -283,7 +289,7 @@ RunResult run_sedov(LayoutKind layout, int threads, ExecMode mode) {
   params.nzb = 1;
   params.max_level = 2;
   params.maxblocks = 128;
-  SedovSetup setup(params, mem::HugePolicy::kNone, layout);
+  SedovSetup setup(params, mem::HugePolicy::kNone, proc(), layout);
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroSolver hydro(m, setup.eos());
   perf::Timers timers;
@@ -344,7 +350,7 @@ RunResult run_supernova(LayoutKind layout, int threads, ExecMode mode) {
   p.maxblocks = 400;
   p.table_spec = {-4.0, 10.0, 141, 5.0, 10.0, 51};
   p.table_cache = "helm_table_taskgraph.bin";
-  SupernovaSetup setup(p, mem::HugePolicy::kNone, layout);
+  SupernovaSetup setup(p, mem::HugePolicy::kNone, proc(), layout);
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroOptions hopt;
   hopt.cfl = 0.6;
@@ -390,6 +396,7 @@ TEST(TaskGraphPhysics, SupernovaBitIdenticalAcrossModesLanesAndLayouts) {
   // below executes in allocator steady state.
   (void)eos::HelmTable::build_or_load({-4.0, 10.0, 141, 5.0, 10.0, 51},
                                       mem::HugePolicy::kNone,
+                                      proc().page_pool(),
                                       "helm_table_taskgraph.bin");
   (void)run_supernova(LayoutKind::kVarMajor, 1, ExecMode::kBulkSync);
   const RunResult global =
@@ -438,7 +445,7 @@ TEST(TaskGraphSampler, SamplerOverTaskGraphStepsIsRaceFree) {
   params.nzb = 1;
   params.max_level = 2;
   params.maxblocks = 128;
-  SedovSetup setup(params, mem::HugePolicy::kNone);
+  SedovSetup setup(params, mem::HugePolicy::kNone, proc());
   mesh::AmrMesh& m = setup.mesh();
   hydro::HydroSolver hydro(m, setup.eos());
   perf::Timers timers;

@@ -103,6 +103,7 @@ LAYERS: list[list[str]] = [
     ["par"],
     ["mesh"],
     ["eos", "hydro", "flame", "gravity"],
+    ["rt"],
     ["sim"],
     ["obs"],
 ]
@@ -469,6 +470,22 @@ SELF_TEST_FILES: dict[str, tuple[str, dict[str, int]]] = {
         '#include "mem/numa.hpp"\n'
         'void touch() {}\n',
         {},
+    ),
+    # rt sits between the physics solvers and sim: a runtime context may
+    # bundle mesh/par/perf handles (downward edges)...
+    "src/rt/bundles_downward.cpp": (
+        '#include "mesh/layout.hpp"\n'
+        '#include "par/parallel.hpp"\n'
+        '#include "perf/perf_context.hpp"\n'
+        'void touch() {}\n',
+        {},
+    ),
+    # ...but a solver reaching up into rt would invert the dependency:
+    # kernels take handles, they do not know about the context type.
+    "src/hydro/bad_runtime_reach.cpp": (
+        '#include "rt/runtime.hpp"\n'
+        'void touch() {}\n',
+        {"layering": 1},
     ),
     # ...but a reciprocal pair of peer edges is a cycle: both include
     # sites are reported (scanned as one pair, see run_self_test).
