@@ -6,6 +6,7 @@
 
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/mutex.hpp"
 
 namespace fhp::sim {
 
@@ -104,13 +105,22 @@ double SedovSetup::shock_radius(double energy, double rho, double time,
                                 double gamma) {
   // Exact similarity constant from the integrated Sedov solution
   // (sedov_exact.hpp); cache per gamma since the integration costs ~ms.
-  static double cached_gamma = -1.0;
-  static double cached_alpha = 0.0;
-  if (gamma != cached_gamma) {
-    cached_alpha = SedovExact(gamma, 3).alpha();
-    cached_gamma = gamma;
+  // The cache is shared by every tenant in the process, so it is
+  // mutex-guarded — concurrent service tenants validate their shocks
+  // from arbitrary threads.
+  static Mutex cache_mutex;
+  static double cached_gamma FHP_GUARDED_BY(cache_mutex) = -1.0;
+  static double cached_alpha FHP_GUARDED_BY(cache_mutex) = 0.0;
+  double alpha;
+  {
+    MutexLock lock(cache_mutex);
+    if (gamma != cached_gamma) {
+      cached_alpha = SedovExact(gamma, 3).alpha();
+      cached_gamma = gamma;
+    }
+    alpha = cached_alpha;
   }
-  return std::pow(energy * time * time / (cached_alpha * rho), 0.2);
+  return std::pow(energy * time * time / (alpha * rho), 0.2);
 }
 
 }  // namespace fhp::sim

@@ -1,0 +1,652 @@
+#include "svc/service.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "flame/adr.hpp"
+#include "hydro/hydro.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+#include "perf/timers.hpp"
+#include "rt/runtime.hpp"
+#include "sim/driver.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/runtime_params.hpp"
+#include "tlb/machine.hpp"
+
+namespace fhp::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Runtime-param overrides (0 = unset, defer to environment/default).
+std::atomic<int> g_param_lanes{0};
+std::atomic<int> g_param_queue{0};
+std::atomic<int> g_param_max_tenants{0};
+std::atomic<int> g_param_quantum{0};
+
+int env_positive_int(const char* var, int fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read at service construction;
+  // nothing in-process calls setenv.
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 1) {
+    throw ConfigError(std::string(var) + "='" + raw +
+                      "': expected a positive integer");
+  }
+  return static_cast<int>(value);
+}
+
+PoolSummary counter_delta(const mem::PoolCounters& before,
+                          const mem::PoolCounters& after) {
+  PoolSummary d;
+  d.huge_allocs = after.huge_allocs - before.huge_allocs;
+  d.remote_huge_allocs = after.remote_huge_allocs - before.remote_huge_allocs;
+  d.thp_fallbacks = after.thp_fallbacks - before.thp_fallbacks;
+  d.base_fallbacks = after.base_fallbacks - before.base_fallbacks;
+  d.exhausted_events = after.exhausted_events - before.exhausted_events;
+  d.backing_shortfalls = after.backing_shortfalls - before.backing_shortfalls;
+  return d;
+}
+
+/// Everything one admitted job owns while it runs: its Runtime (private
+/// perf context, arena, layout snapshot; block storage carved from the
+/// service's shared pool), its setup, solver and driver. Declaration
+/// order is the destruction contract: the runtime outlives the setup,
+/// mesh and driver built on it, and the telemetry (installed on the
+/// runtime) uninstalls before the runtime dies.
+struct Tenant {
+  std::unique_ptr<rt::Runtime> runtime;
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<sim::SedovSetup> sedov;
+  std::unique_ptr<sim::CellularSetup> cellular;
+  std::unique_ptr<sim::SupernovaSetup> supernova;
+  std::unique_ptr<hydro::HydroSolver> hydro;
+  std::unique_ptr<tlb::Machine> machine;
+  perf::Timers timers;
+  std::unique_ptr<sim::Driver> driver;
+
+  [[nodiscard]] mesh::AmrMesh& mesh() {
+    if (sedov) return sedov->mesh();
+    if (cellular) return cellular->mesh();
+    return supernova->mesh();
+  }
+  [[nodiscard]] flame::AdrFlame* flame() {
+    if (cellular) return &cellular->flame();
+    if (supernova) return &supernova->flame();
+    return nullptr;
+  }
+};
+
+/// One admitted job's record. The atomics are the streaming face:
+/// progress() reads them (and the tenant runtime's published counter
+/// slot) from arbitrary threads while the owning worker steps the
+/// driver. Everything else is guarded by the service mutex — a job is
+/// owned by exactly one worker between queue pops, and the mutex
+/// handshake around pop/requeue is the happens-before edge.
+struct Job {
+  JobId id = 0;
+  JobSpec spec;
+
+  std::atomic<JobStatus> status{JobStatus::kQueued};
+  std::atomic<int> steps{0};
+  std::atomic<std::uint64_t> sim_time_bits{0};
+
+  Clock::time_point submitted_at{};
+  Clock::time_point started_at{};
+  bool started = false;
+
+  std::unique_ptr<Tenant> tenant;
+  JobResult result;
+  bool done = false;
+
+  void store_sim_time(double t) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &t, sizeof bits);
+    sim_time_bits.store(bits, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double load_sim_time() const noexcept {
+    const std::uint64_t bits = sim_time_bits.load(std::memory_order_relaxed);
+    double t = 0.0;
+    std::memcpy(&t, &bits, sizeof t);
+    return t;
+  }
+};
+
+}  // namespace
+
+const char* to_string(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kSedov: return "sedov";
+    case JobKind::kCellular: return "cellular";
+    case JobKind::kSupernova: return "supernova";
+  }
+  return "?";
+}
+
+const char* to_string(DeadlineClass deadline) noexcept {
+  switch (deadline) {
+    case DeadlineClass::kInteractive: return "interactive";
+    case DeadlineClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kShuttingDown: return "shutting-down";
+    case RejectReason::kBadSpec: return "bad-spec";
+  }
+  return "?";
+}
+
+const char* to_string(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::vector<double> canonical_state(const mesh::AmrMesh& mesh,
+                                    double sim_time) {
+  const mesh::MeshConfig& c = mesh.config();
+  std::vector<double> out;
+  std::vector<double> zone(static_cast<std::size_t>(c.nvar()));
+  for (int b : mesh.tree().leaves_morton()) {
+    for (int k = c.klo(); k < c.khi(); ++k) {
+      for (int j = c.jlo(); j < c.jhi(); ++j) {
+        for (int i = c.ilo(); i < c.ihi(); ++i) {
+          mesh.unk().gather_zone(0, c.nvar(), i, j, k, b, zone.data());
+          out.insert(out.end(), zone.begin(), zone.end());
+        }
+      }
+    }
+  }
+  out.push_back(sim_time);
+  return out;
+}
+
+int resolve_service_lanes() {
+  const int param = g_param_lanes.load(std::memory_order_acquire);
+  if (param > 0) return param;
+  return env_positive_int(kSvcLanesEnvVar, 2);
+}
+
+void declare_runtime_params(RuntimeParams& params) {
+  params.declare_int("svc.lanes", 0,
+                     "service worker threads stepping tenants "
+                     "(FLASHHP_SVC_LANES; 0 = resolve)");
+  params.declare_int("svc.queue", 0,
+                     "pending-job queue capacity (0 = default 16)");
+  params.declare_int("svc.max_tenants", 0,
+                     "max concurrently constructed tenants (0 = default 8)");
+  params.declare_int("svc.quantum", 0,
+                     "steps per fair-share scheduling quantum "
+                     "(0 = default 4)");
+}
+
+void apply_runtime_params(const RuntimeParams& params) {
+  auto apply_one = [&params](const char* name, std::atomic<int>& slot) {
+    const long long value = params.get_int(name);
+    if (value < 0) {
+      throw ConfigError(std::string(name) + "=" + std::to_string(value) +
+                        ": expected a non-negative integer");
+    }
+    slot.store(static_cast<int>(value), std::memory_order_release);
+  };
+  apply_one("svc.lanes", g_param_lanes);
+  apply_one("svc.queue", g_param_queue);
+  apply_one("svc.max_tenants", g_param_max_tenants);
+  apply_one("svc.quantum", g_param_quantum);
+}
+
+// ---------------------------------------------------------------- Impl
+
+struct Service::Impl {
+  // Resolved configuration (immutable after construction).
+  int workers_n = 0;
+  int queue_capacity = 0;
+  int max_tenants = 0;
+  int quantum = 0;
+
+  mem::PagePool owned_pool;
+  mem::PagePool* pool = nullptr;
+
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;  ///< workers wait for runnable jobs
+  std::condition_variable done_cv;  ///< wait() waits for resolutions
+
+  bool started = true;      ///< false while start_paused holds workers
+  bool accepting = true;
+  bool stop = false;        ///< shutdown has begun
+  bool cancel_mode = false;
+  int inflight = 0;         ///< jobs currently held by a worker
+  JobId next_id = 1;
+
+  std::map<JobId, std::shared_ptr<Job>> jobs;
+  /// Ready queues by class: [0] interactive, [1] batch. A job is in at
+  /// most one place: a queue, a worker's hands, or resolved.
+  std::deque<std::shared_ptr<Job>> ready[2];
+  int queued_jobs = 0;      ///< admitted jobs not yet holding a tenant
+  int active_tenants = 0;
+  ServiceStats stats;
+
+  /// Serializes tenant construction: the shared pool hands out arenas
+  /// one at a time anyway (setup-time work), and the Helm-table disk
+  /// cache is not concurrent-build safe.
+  std::mutex setup_mutex;
+
+  std::mutex join_mutex;
+  std::vector<std::thread> threads;
+
+  // -- scheduling ------------------------------------------------------
+
+  [[nodiscard]] std::shared_ptr<Job> pop_runnable_locked() {
+    for (auto& queue : ready) {
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        // A fresh job needs a tenant slot; one mid-run already has its
+        // tenant and is always runnable.
+        if ((*it)->tenant == nullptr && !cancel_mode &&
+            active_tenants >= max_tenants) {
+          continue;
+        }
+        std::shared_ptr<Job> job = *it;
+        queue.erase(it);
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool queues_empty() const {
+    return ready[0].empty() && ready[1].empty();
+  }
+
+  /// Resolve \p job (mutex held): fill the result, free the tenant, wake
+  /// waiters. The one place a job reaches a terminal status.
+  void finalize_locked(const std::shared_ptr<Job>& job, JobStatus status,
+                       std::string error) {
+    JobResult& r = job->result;
+    r.id = job->id;
+    r.steps = job->steps.load(std::memory_order_relaxed);
+    r.sim_time = job->load_sim_time();
+    r.error = std::move(error);
+    if (job->tenant) {
+      Tenant& t = *job->tenant;
+      r.counters = t.runtime->perf().published();
+      if (status == JobStatus::kDone && job->spec.capture_state) {
+        r.final_state = canonical_state(t.mesh(), t.driver->sim_time());
+        if (flame::AdrFlame* f = t.flame()) {
+          r.final_state.push_back(f->energy_released());
+        }
+      }
+      if (status == JobStatus::kDone && !job->spec.timeline_path.empty() &&
+          t.telemetry) {
+        try {
+          obs::write_timeline_file(job->spec.timeline_path, *t.telemetry);
+        } catch (const std::exception& e) {
+          FHP_LOG(kWarn) << "job " << job->id << ": timeline export to '"
+                         << job->spec.timeline_path << "' failed: "
+                         << e.what();
+        }
+      }
+      job->tenant.reset();
+      --active_tenants;
+    } else if (job->status.load(std::memory_order_relaxed) ==
+               JobStatus::kQueued) {
+      --queued_jobs;
+    }
+    const Clock::time_point now = Clock::now();
+    r.wall_seconds = seconds_between(job->submitted_at, now);
+    r.queue_seconds = job->started
+                          ? seconds_between(job->submitted_at, job->started_at)
+                          : r.wall_seconds;
+    r.status = status;
+    job->status.store(status, std::memory_order_release);
+    job->done = true;
+    switch (status) {
+      case JobStatus::kDone: ++stats.completed; break;
+      case JobStatus::kFailed: ++stats.failed; break;
+      case JobStatus::kCancelled: ++stats.cancelled; break;
+      default: break;
+    }
+    done_cv.notify_all();
+    work_cv.notify_all();  // a tenant slot may have been freed
+  }
+
+  [[nodiscard]] std::unique_ptr<Tenant> build_tenant(const JobSpec& spec,
+                                                     JobId id) {
+    auto tenant = std::make_unique<Tenant>();
+
+    rt::RuntimeOptions ropts;
+    ropts.lanes = spec.lanes;
+    ropts.layout = spec.layout;
+    ropts.policy = spec.policy;
+    ropts.pool = pool;
+    ropts.log_tag =
+        spec.log_tag.empty() ? "job" + std::to_string(id) : spec.log_tag;
+    tenant->runtime = std::make_unique<rt::Runtime>(ropts);
+    rt::Runtime& runtime = *tenant->runtime;
+
+    if (!spec.timeline_path.empty()) {
+      obs::TelemetryOptions topts;
+      topts.lanes = runtime.lanes();
+      tenant->telemetry = std::make_unique<obs::Telemetry>(topts);
+      tenant->telemetry->install(runtime);
+    }
+
+    sim::DriverOptions dopts;
+    dopts.nsteps = spec.nsteps;
+    dopts.trace_sample = spec.trace_sample;
+    dopts.verbose = false;
+
+    sim::DriverUnits units;
+    units.runtime = &runtime;
+    if (spec.trace_sample > 0) {
+      tenant->machine =
+          std::make_unique<tlb::Machine>(tlb::MachineParams{},
+                                         &runtime.perf());
+      units.machine = tenant->machine.get();
+    }
+
+    switch (spec.kind) {
+      case JobKind::kSedov: {
+        tenant->sedov = std::make_unique<sim::SedovSetup>(
+            spec.sedov, spec.policy, runtime);
+        tenant->hydro = std::make_unique<hydro::HydroSolver>(
+            tenant->sedov->mesh(), tenant->sedov->eos());
+        break;
+      }
+      case JobKind::kCellular: {
+        tenant->cellular = std::make_unique<sim::CellularSetup>(
+            spec.cellular, spec.policy, runtime);
+        tenant->hydro = std::make_unique<hydro::HydroSolver>(
+            tenant->cellular->mesh(), tenant->cellular->eos());
+        units.flame = &tenant->cellular->flame();
+        dopts.refine_vars = {mesh::var::kDens,
+                             mesh::var::kFirstScalar + sim::cvar::kPhi};
+        break;
+      }
+      case JobKind::kSupernova: {
+        tenant->supernova = std::make_unique<sim::SupernovaSetup>(
+            spec.supernova, spec.policy, runtime);
+        hydro::HydroOptions hopts;
+        hopts.cfl = 0.6;
+        tenant->hydro = std::make_unique<hydro::HydroSolver>(
+            tenant->supernova->mesh(), tenant->supernova->eos(), hopts);
+        tenant->hydro->set_composition_fn(
+            tenant->supernova->composition_fn());
+        units.flame = &tenant->supernova->flame();
+        units.gravity = &tenant->supernova->gravity();
+        units.eos_trace = [setup = tenant->supernova.get()](tlb::Tracer& t,
+                                                           int b) {
+          setup->trace_eos_block(t, b);
+        };
+        dopts.refine_vars = {mesh::var::kDens,
+                             mesh::var::kFirstScalar + sim::snvar::kPhi};
+        break;
+      }
+    }
+
+    tenant->driver = std::make_unique<sim::Driver>(
+        tenant->mesh(), *tenant->hydro, tenant->timers, dopts, units);
+    return tenant;
+  }
+
+  /// Handle one popped job: construct its tenant if fresh, advance it by
+  /// one quantum, then resolve or requeue. Enters and leaves with
+  /// \p lock held; unlocks around the slow work.
+  void process(std::unique_lock<std::mutex>& lock,
+               const std::shared_ptr<Job>& job) {
+    if (cancel_mode) {
+      finalize_locked(job, JobStatus::kCancelled, {});
+      return;
+    }
+
+    if (!job->tenant) {
+      ++active_tenants;  // reserve the slot before dropping the lock
+      lock.unlock();
+      std::unique_ptr<Tenant> tenant;
+      PoolSummary delta;
+      std::string error;
+      {
+        std::lock_guard<std::mutex> setup(setup_mutex);
+        const mem::PoolCounters before = pool->counters();
+        try {
+          tenant = build_tenant(job->spec, job->id);
+        } catch (const std::exception& e) {
+          error = e.what();
+        }
+        delta = counter_delta(before, pool->counters());
+      }
+      lock.lock();
+      job->result.pool = delta;
+      if (!tenant) {
+        --active_tenants;
+        finalize_locked(job, JobStatus::kFailed, std::move(error));
+        return;
+      }
+      job->tenant = std::move(tenant);
+      job->started_at = Clock::now();
+      job->started = true;
+      --queued_jobs;
+      job->status.store(JobStatus::kRunning, std::memory_order_release);
+      if (cancel_mode) {  // shutdown(kCancel) raced the setup
+        finalize_locked(job, JobStatus::kCancelled, {});
+        return;
+      }
+    }
+
+    sim::Driver& driver = *job->tenant->driver;
+    lock.unlock();
+    bool finished = false;
+    std::string error;
+    try {
+      for (int n = 0; n < quantum && !finished; ++n) {
+        if (!driver.step_once()) {
+          finished = true;
+          break;
+        }
+        job->steps.store(driver.steps(), std::memory_order_relaxed);
+        job->store_sim_time(driver.sim_time());
+        if (driver.steps() >= job->spec.nsteps) finished = true;
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    lock.lock();
+    if (!error.empty()) {
+      finalize_locked(job, JobStatus::kFailed, std::move(error));
+    } else if (cancel_mode) {
+      finalize_locked(job, JobStatus::kCancelled, {});
+    } else if (finished) {
+      finalize_locked(job, JobStatus::kDone, {});
+    } else {
+      // Quantum spent: back of its class queue — round-robin fair share.
+      const int cls =
+          job->spec.deadline == DeadlineClass::kInteractive ? 0 : 1;
+      ready[cls].push_back(job);
+      work_cv.notify_one();
+    }
+  }
+
+  void worker_main() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      if (started) {
+        if (std::shared_ptr<Job> job = pop_runnable_locked()) {
+          ++inflight;
+          process(lock, job);
+          --inflight;
+          if (stop) work_cv.notify_all();
+          continue;
+        }
+        if (stop && inflight == 0 && queues_empty()) {
+          work_cv.notify_all();
+          return;
+        }
+      }
+      work_cv.wait(lock);
+    }
+  }
+};
+
+// ------------------------------------------------------------- Service
+
+Service::Service(ServiceOptions options) : impl_(std::make_unique<Impl>()) {
+  auto resolve = [](int explicit_value, std::atomic<int>& param,
+                    int fallback) {
+    if (explicit_value > 0) return explicit_value;
+    const int p = param.load(std::memory_order_acquire);
+    return p > 0 ? p : fallback;
+  };
+  impl_->workers_n = options.workers > 0 ? options.workers
+                                         : resolve_service_lanes();
+  impl_->queue_capacity = resolve(options.queue_capacity, g_param_queue, 16);
+  impl_->max_tenants = resolve(options.max_tenants, g_param_max_tenants, 8);
+  impl_->quantum = resolve(options.quantum_steps, g_param_quantum, 4);
+
+  if (options.pool != nullptr) {
+    impl_->pool = options.pool;
+  } else {
+    impl_->pool = &impl_->owned_pool;
+    if (options.pool_config.has_value()) {
+      impl_->owned_pool.init(*options.pool_config);
+    }
+  }
+
+  impl_->started = !options.start_paused;
+  impl_->threads.reserve(static_cast<std::size_t>(impl_->workers_n));
+  for (int w = 0; w < impl_->workers_n; ++w) {
+    impl_->threads.emplace_back([this] { impl_->worker_main(); });
+  }
+  FHP_LOG(kInfo) << "svc: service up, " << impl_->workers_n
+                 << " workers, queue " << impl_->queue_capacity
+                 << ", max_tenants " << impl_->max_tenants << ", quantum "
+                 << impl_->quantum;
+}
+
+Service::~Service() { shutdown(Shutdown::kDrain); }
+
+Submission Service::submit(JobSpec spec) {
+  if (spec.lanes < 1 || spec.lanes > par::kMaxLanes || spec.nsteps < 1 ||
+      spec.trace_sample < 0) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->stats.rejected;
+    return {0, RejectReason::kBadSpec};
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->accepting) {
+    ++impl_->stats.rejected;
+    return {0, RejectReason::kShuttingDown};
+  }
+  if (impl_->queued_jobs >= impl_->queue_capacity) {
+    ++impl_->stats.rejected;
+    return {0, RejectReason::kQueueFull};
+  }
+  auto job = std::make_shared<Job>();
+  job->id = impl_->next_id++;
+  job->spec = std::move(spec);
+  job->submitted_at = Clock::now();
+  impl_->jobs.emplace(job->id, job);
+  const int cls = job->spec.deadline == DeadlineClass::kInteractive ? 0 : 1;
+  impl_->ready[cls].push_back(job);
+  ++impl_->queued_jobs;
+  ++impl_->stats.submitted;
+  impl_->work_cv.notify_one();
+  return {job->id, RejectReason::kNone};
+}
+
+JobResult Service::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) {
+    throw ConfigError("svc: wait() on unknown job id " + std::to_string(id));
+  }
+  std::shared_ptr<Job> job = it->second;
+  impl_->done_cv.wait(lock, [&job] { return job->done; });
+  return job->result;
+}
+
+std::optional<JobProgress> Service::progress(JobId id) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return std::nullopt;
+  const std::shared_ptr<Job>& job = it->second;
+  JobProgress p;
+  p.status = job->status.load(std::memory_order_acquire);
+  p.steps = job->steps.load(std::memory_order_relaxed);
+  p.sim_time = job->load_sim_time();
+  if (job->tenant) {
+    // The tenant may be mid-step on its worker right now: published()
+    // only touches the mutex-guarded snapshot, never the lane shards.
+    p.counters = job->tenant->runtime->perf().published();
+  } else if (job->done) {
+    p.counters = job->result.counters;
+  }
+  return p;
+}
+
+void Service::shutdown(Shutdown mode) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->stop) {
+      impl_->stop = true;
+      impl_->accepting = false;
+      impl_->cancel_mode = (mode == Shutdown::kCancel);
+      impl_->started = true;  // release a paused scheduler to dispose
+    }
+    impl_->work_cv.notify_all();
+  }
+  std::lock_guard<std::mutex> join(impl_->join_mutex);
+  for (std::thread& t : impl_->threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Service::start() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->started = true;
+  impl_->work_cv.notify_all();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  ServiceStats s = impl_->stats;
+  s.queued = impl_->queued_jobs;
+  s.active_tenants = impl_->active_tenants;
+  return s;
+}
+
+mem::PagePool& Service::pool() noexcept { return *impl_->pool; }
+
+int Service::workers() const noexcept { return impl_->workers_n; }
+
+int Service::quantum_steps() const noexcept { return impl_->quantum; }
+
+}  // namespace fhp::svc

@@ -12,6 +12,7 @@
 #include "perf/region.hpp"
 #include "perf/timers.hpp"
 #include "rt/runtime.hpp"
+#include "sim/cellular.hpp"
 #include "sim/driver.hpp"
 #include "sim/profiles.hpp"
 #include "sim/sedov.hpp"
@@ -236,6 +237,77 @@ TEST(SupernovaEvolution, FiftyStepFlameReleasesEnergy) {
   });
   EXPECT_GT(rho_max, 1.0e8);
   EXPECT_LT(rho_max, 1.0e10);
+}
+
+// ------------------------------------------------- cellular detonation
+
+TEST(CellularSetupTest, PerturbedFrontSeparatesAshFromFuel) {
+  CellularParams params;
+  params.max_level = 2;
+  params.maxblocks = 128;
+  CellularSetup setup(params, mem::HugePolicy::kNone, proc());
+  mesh::AmrMesh& m = setup.mesh();
+
+  // The front is a deterministic perturbed plane inside the domain.
+  const double f0 = setup.front_position(0.0);
+  const double f1 = setup.front_position(params.domain_y / 3.0);
+  EXPECT_NE(f0, f1);  // genuinely perturbed
+  EXPECT_DOUBLE_EQ(f0, setup.front_position(0.0));  // and reproducible
+  EXPECT_GT(f0, 0.0);
+  EXPECT_LT(f0, params.domain_x);
+
+  // phi is a clean 0/1 partition straddling the front, on uniform fuel.
+  const int vphi = mesh::var::kFirstScalar + cvar::kPhi;
+  double burned_cells = 0.0, fuel_cells = 0.0;
+  m.for_leaf_cells([&](int b, int i, int j, int k) {
+    const double phi = m.unk().at(vphi, i, j, k, b);
+    EXPECT_TRUE(phi == 0.0 || phi == 1.0);
+    (phi > 0.5 ? burned_cells : fuel_cells) += 1.0;
+    EXPECT_DOUBLE_EQ(m.unk().at(kDens, i, j, k, b), params.rho_fuel);
+    if (phi > 0.5) {
+      EXPECT_LT(m.xcenter(b, i), setup.front_position(m.ycenter(b, j)));
+    }
+  });
+  EXPECT_GT(burned_cells, 0.0);
+  EXPECT_GT(fuel_cells, burned_cells);  // ignition strip is thin
+}
+
+TEST(CellularSetupTest, MeshRefinedAlongTheFront) {
+  CellularParams params;
+  params.max_level = 3;
+  params.maxblocks = 256;
+  CellularSetup setup(params, mem::HugePolicy::kNone, proc());
+  EXPECT_EQ(setup.mesh().tree().finest_level(), 3);
+  EXPECT_TRUE(setup.mesh().tree().is_balanced());
+}
+
+TEST(CellularEvolution, FlameAdvancesConservingMass) {
+  CellularParams params;
+  params.max_level = 2;
+  params.maxblocks = 128;
+  CellularSetup setup(params, mem::HugePolicy::kNone, proc());
+  mesh::AmrMesh& m = setup.mesh();
+  hydro::HydroSolver hydro(m, setup.eos());
+  perf::Timers timers;
+  DriverOptions opts;
+  opts.nsteps = 10;
+  opts.trace_sample = 0;
+  opts.verbose = false;
+  opts.refine_vars = {kDens, mesh::var::kFirstScalar + cvar::kPhi};
+  DriverUnits units;
+  units.flame = &setup.flame();
+  Driver driver(m, hydro, timers, opts, units);
+
+  const int vphi = mesh::var::kFirstScalar + cvar::kPhi;
+  const double mass0 = m.integrate(kDens);
+  const double burned0 = m.integrate_product(kDens, vphi);
+  driver.evolve();
+  EXPECT_EQ(driver.steps(), 10);
+  EXPECT_GT(driver.sim_time(), 0.0);
+  EXPECT_NEAR(m.integrate(kDens) / mass0, 1.0, 1e-9);
+  // The ADR front advanced into the fuel and released nuclear energy.
+  EXPECT_GT(m.integrate_product(kDens, vphi), burned0);
+  EXPECT_GT(setup.flame().energy_released(), 0.0);
 }
 
 // --------------------------------------------- reproduction invariants

@@ -8,7 +8,8 @@ tree that only emerge from whole-file or whole-graph views:
   layering          project modules form a declared DAG
 
                         support -> mem -> tlb -> perf -> par -> mesh
-                                -> {eos, hydro, flame, gravity} -> sim -> obs
+                                -> {eos, hydro, flame, gravity} -> rt
+                                -> sim -> obs -> svc
 
                     (left is the bottom). An `#include "mod/..."` edge
                     from a lower layer to a higher one is an error: it is
@@ -106,6 +107,7 @@ LAYERS: list[list[str]] = [
     ["rt"],
     ["sim"],
     ["obs"],
+    ["svc"],
 ]
 
 LAYER_OF: dict[str, int] = {
@@ -498,6 +500,27 @@ SELF_TEST_FILES: dict[str, tuple[str, dict[str, int]]] = {
         '#pragma once\n'
         '#include "eos/cycle_a.hpp"\n',
         {"layer-cycle": 1},
+    ),
+    # svc is the top of the DAG: the service legally bundles setups,
+    # runtimes and telemetry (all downward edges)...
+    "src/svc/bundles_everything.cpp": (
+        '#include "obs/telemetry.hpp"\n'
+        '#include "rt/runtime.hpp"\n'
+        '#include "sim/driver.hpp"\n'
+        'void touch() {}\n',
+        {},
+    ),
+    # ...and nothing below svc may know the service exists: a sim (or
+    # obs) file reaching up into svc inverts the dependency.
+    "src/sim/bad_service_reach.cpp": (
+        '#include "svc/service.hpp"\n'
+        'void touch() {}\n',
+        {"layering": 1},
+    ),
+    "src/obs/bad_service_reach.cpp": (
+        '#include "svc/job.hpp"\n'
+        'void touch() {}\n',
+        {"layering": 1},
     ),
     # Allocation inside a region lambda: one `new`, one push_back.
     "src/flame/bad_region_alloc.cpp": (

@@ -312,10 +312,14 @@ PROCESS_GLOBAL_RE = re.compile(
 # --check-runtime: the types whose construction marks an executable as
 # "builds simulation state", and the tokens that satisfy the obligation.
 SIM_STATE_RE = re.compile(
-    r"\b(?:SedovSetup|SupernovaSetup|DriverUnits|AmrMesh|UnkContainer|"
-    r"HugeBuffer|HelmTable)\b")
+    r"\b(?:SedovSetup|SupernovaSetup|CellularSetup|DriverUnits|AmrMesh|"
+    r"UnkContainer|HugeBuffer|HelmTable|JobSpec)\b")
+# svc::Service satisfies the obligation too: the service constructs one
+# rt::Runtime per tenant internally — a load generator submitting
+# JobSpecs owns its context through the service, not an ambient one.
 RUNTIME_TOKEN_RE = re.compile(
-    r"\brt\s*::\s*Runtime\b|\bRuntime\s*::\s*process_default\b")
+    r"\brt\s*::\s*Runtime\b|\bRuntime\s*::\s*process_default\b|"
+    r"\bsvc\s*::\s*Service\b")
 # An nvar-like factor (nvar, nvar_, nvar(), kNvar, c.nvar(), NVAR ...)
 # multiplied into a parenthesized expression: the shape of hand-rolled
 # var-major offset math like `v + nvar * (i + ni * (j + ...))`. The
@@ -821,6 +825,16 @@ def run_self_test() -> int:
             '}\n')
         (root / "examples/no_sim_state.cpp").write_text(
             'int main() { return 0; }\n')
+        # A service client builds JobSpecs, never a Runtime by name: the
+        # svc::Service constructs the per-tenant runtimes, so naming the
+        # service satisfies the obligation.
+        (root / "examples/good_service.cpp").write_text(
+            'int main() {\n'
+            '  fhp::svc::Service service({});\n'
+            '  fhp::svc::JobSpec spec;\n'
+            '  (void)service.submit(spec);\n'
+            '  return 0;\n'
+            '}\n')
         (root / "bench/experiment_helpers.hpp").write_text(
             '#pragma once\n'
             'fhp::sim::DriverUnits units();  // caller wires the runtime\n')
